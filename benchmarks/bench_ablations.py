@@ -1,0 +1,45 @@
+"""Ablations of the design choices called out in DESIGN.md §6."""
+
+from repro.bench.harness import (
+    ablation_exact_relevance,
+    ablation_large_gpu,
+    ablation_predicted_link,
+    ablation_tissue_alignment,
+)
+
+
+def test_tissue_alignment_helps(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        ablation_tissue_alignment, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("ablation_tissue_alignment", report)
+    # Balancing fat/thin tissues under the MTS is at least as fast.
+    assert data["gain"] >= 1.0
+
+
+def test_predicted_link_recovers_accuracy(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        ablation_predicted_link, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("ablation_predicted_link", report)
+    # The Eq. 6 vector does no worse than a zero link (usually better).
+    assert data["predicted"] >= data["zero"] - 0.02
+
+
+def test_large_gpu_avoids_reloads(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        ablation_large_gpu, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("ablation_large_gpu", report)
+    # Mobile: ~one full re-load per cell; M40: the matrix stays in L2.
+    assert data["mobile"] > 5 * data["server"]
+    assert data["mobile"] > 10
+
+
+def test_exact_relevance_is_consistent(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        ablation_exact_relevance, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("ablation_exact_relevance", report)
+    # Both formulas find breakpoints at this operating point.
+    assert data["paper"] > 0

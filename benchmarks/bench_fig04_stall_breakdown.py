@@ -1,0 +1,17 @@
+"""Fig. 4 — contribution of each factor to Sgemv pipeline stalls.
+
+Paper shape: off-chip memory access dominates the stall cycles of the
+baseline ``Sgemv`` kernels on every application.
+"""
+
+from repro.bench.harness import fig04_stall_breakdown
+
+
+def test_fig04_stall_breakdown(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        fig04_stall_breakdown, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("fig04_stall_breakdown", report)
+    for name, stalls in data.items():
+        assert stalls["off_chip_memory"] > 0.6, name
+        assert stalls["sgemv_time_share"] > 0.8, name

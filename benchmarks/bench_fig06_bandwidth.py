@@ -1,0 +1,17 @@
+"""Fig. 6 — off-chip vs on-chip bandwidth utilization during Sgemv.
+
+Paper shape: the off-chip bandwidth is almost fully utilized while the
+on-chip (shared-memory) bandwidth is lightly consumed.
+"""
+
+from repro.bench.harness import fig06_bandwidth_utilization
+
+
+def test_fig06_bandwidth_utilization(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        fig06_bandwidth_utilization, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("fig06_bandwidth", report)
+    for name, util in data.items():
+        assert util["off_chip"] > 0.9, name
+        assert util["on_chip"] < 0.5, name

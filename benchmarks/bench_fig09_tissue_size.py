@@ -1,0 +1,27 @@
+"""Fig. 9 — layer performance vs tissue size, with the MTS knee.
+
+Paper shape: performance rises with the tissue size, peaks at the MTS
+(5-6 on the TX1), and droops beyond it as the shared-memory roof forces a
+kernel re-configuration.
+"""
+
+import numpy as np
+
+from repro.bench.harness import fig09_tissue_size_sweep
+
+
+def test_fig09_tissue_size_sweep(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        fig09_tissue_size_sweep, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("fig09_tissue_size", report)
+    for name, series in data.items():
+        perf = series["performance"]
+        mts = series["mts"]
+        assert 4 <= mts <= 7, name
+        # Rising before the knee...
+        assert all(np.diff(perf[: mts]) > 0), name
+        # ...and clearly better at the knee than at tissue size 1.
+        assert perf[mts - 1] > 2.0, name
+        # On-chip utilization approaches saturation at the MTS.
+        assert series["onchip_utilization"][mts - 1] > 0.6, name

@@ -1,0 +1,33 @@
+"""Fig. 16 — weight-compression schemes compared.
+
+Paper shape: zero-pruning compresses 37 % of the elements but *slows
+execution down* (0.65x) with only ~7 % power saving; software-only DRS
+barely wins (1.07x); hardware (CRM-backed) DRS achieves better compression
+(~50 %) and a substantial speedup on top of the software variant (+57.8 %).
+"""
+
+from repro.bench.harness import fig16_compression_schemes
+
+
+def test_fig16_compression_schemes(benchmark, ctx, record_report):
+    data, means, report = benchmark.pedantic(
+        fig16_compression_schemes, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("fig16_compression", report)
+
+    zp = means["zero_pruning"]
+    sw = means["software_drs"]
+    hw = means["hardware_drs"]
+
+    # Zero-pruning: decent compression, but a slowdown.
+    assert 0.30 < zp["compression"] < 0.45
+    assert zp["speedup"] < 1.0
+    # Software DRS: marginal gain (paper: 1.07x).
+    assert 0.9 < sw["speedup"] < 1.35
+    # Hardware DRS: better compression than zero-pruning and a clear win
+    # over the software variant.
+    assert hw["compression"] > zp["compression"]
+    assert hw["speedup"] > sw["speedup"] * 1.15
+    assert hw["energy_saving"] > sw["energy_saving"]
+    # DRS compression in the paper's ballpark (50.35 %).
+    assert 0.30 < hw["compression"] < 0.60

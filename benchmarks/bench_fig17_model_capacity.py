@@ -1,0 +1,45 @@
+"""Fig. 17 — BABI performance-accuracy trade-offs vs model capacity.
+
+Paper shape: at the same accuracy requirement, larger hidden sizes and
+longer inputs achieve higher speedups; at small accuracy loss (the regime
+NLP tasks operate in) the spread across capacities is modest.
+
+The assertions compare speedups at fixed low threshold sets — the
+high-accuracy regime where every configuration is still within a few
+percent of exact — because the per-configuration accuracy estimates on the
+reduced evaluation batches carry a few points of sampling noise.
+"""
+
+from repro.bench.harness import fig17_model_capacity
+
+#: Position of threshold-set index 4 in the sweep (indices (0,2,4,6,8,10)).
+_LOW_SET = 2
+
+
+def test_fig17_model_capacity(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        fig17_model_capacity,
+        args=(ctx,),
+        kwargs={"hidden_sizes": (128, 256, 512), "lengths": (43, 86, 172)},
+        rounds=1,
+        iterations=1,
+    )
+    record_report("fig17_model_capacity", report)
+
+    # Larger hidden size -> higher speedup at the same (low) threshold set.
+    hidden_speed = {h: series[_LOW_SET][0] for h, series in data["hidden"].items()}
+    assert hidden_speed[512] > hidden_speed[256] > hidden_speed[128]
+
+    # Longer input -> higher speedup at the same (low) threshold set.
+    length_speed = {l: series[_LOW_SET][0] for l, series in data["length"].items()}
+    assert length_speed[172] > length_speed[86] > length_speed[43]
+
+    # In the small-loss regime the accuracy spread across capacities is
+    # modest (the paper's "model capacity has trivial impact" claim).
+    low_accs = [series[1][1] for series in data["hidden"].values()]
+    assert max(low_accs) - min(low_accs) < 0.1
+
+    # Every sweep starts at the exact baseline.
+    for series in list(data["hidden"].values()) + list(data["length"].values()):
+        speedup0, accuracy0 = series[0]
+        assert speedup0 == 1.0 and accuracy0 == 1.0

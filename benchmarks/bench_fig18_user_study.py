@@ -1,0 +1,27 @@
+"""Fig. 18 — user-satisfaction scores of the four schemes.
+
+Paper shape: AO beats the baseline (faster, loss imperceptible); BPA
+scores worse than AO (users dislike visible accuracy loss); the per-user
+tuned UO scheme scores best.
+"""
+
+import numpy as np
+
+from repro.bench.harness import fig18_user_study
+
+
+def test_fig18_user_study(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        fig18_user_study, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("fig18_user_study", report)
+
+    mean = {
+        scheme: float(np.mean([scores[scheme] for scores in data.values()]))
+        for scheme in ("baseline", "AO", "BPA", "UO")
+    }
+    assert mean["AO"] > mean["baseline"]
+    assert mean["UO"] >= mean["AO"] - 0.05
+    assert mean["UO"] > mean["BPA"] - 1e-9
+    for scheme, value in mean.items():
+        assert 1.0 <= value <= 5.0, scheme

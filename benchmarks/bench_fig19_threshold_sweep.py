@@ -1,0 +1,36 @@
+"""Fig. 19 — speedup and accuracy across the 11 threshold sets.
+
+Paper shape: speedup increases with the set index; accuracy is (noisily)
+non-increasing; the AO set sits at the user-imperceptible loss point and
+BPA at the best speedup x accuracy product.
+"""
+
+import numpy as np
+
+from repro.bench.harness import fig19_threshold_sweep
+
+
+def test_fig19_threshold_sweep(benchmark, ctx, record_report):
+    data, report = benchmark.pedantic(
+        fig19_threshold_sweep, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("fig19_threshold_sweep", report)
+
+    for name, entry in data.items():
+        sweep = entry["sweep"]
+        speeds = [e.speedup for e in sweep]
+        accs = [e.accuracy for e in sweep]
+        # Set 0 is the exact baseline.
+        assert speeds[0] == 1.0 and accs[0] == 1.0
+        # Speedup grows with the threshold set (monotone trend).
+        assert speeds[-1] > speeds[0]
+        assert np.mean(np.diff(speeds)) > 0
+        # Accuracy trends down; allow small non-monotonic noise.
+        assert accs[-1] <= accs[0]
+        assert min(accs) >= 0.1
+        # AO meets the accuracy target (or is the baseline).
+        ao = entry["ao"]
+        assert accs[ao] >= 0.98 or ao == 0
+        # BPA maximizes the product.
+        products = np.array(speeds) * np.array(accs)
+        assert products[entry["bpa"]] == max(products)

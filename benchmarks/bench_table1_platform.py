@@ -1,0 +1,10 @@
+"""Table I — the simulated platform specification."""
+
+from repro.bench.harness import table1_platform
+
+
+def test_table1_platform(benchmark, ctx, record_report):
+    report = benchmark.pedantic(table1_platform, args=(ctx,), rounds=1, iterations=1)
+    record_report("table1_platform", report)
+    assert "Tegra X1" in report
+    assert "25.6" in report

@@ -1,0 +1,12 @@
+"""Table II — the evaluated NLP applications."""
+
+from repro.bench.harness import table2_applications
+
+
+def test_table2_applications(benchmark, ctx, record_report):
+    report = benchmark.pedantic(
+        table2_applications, args=(ctx,), rounds=1, iterations=1
+    )
+    record_report("table2_applications", report)
+    for name in ("IMDB", "MR", "BABI", "SNLI", "PTB", "MT"):
+        assert name in report

@@ -1,0 +1,46 @@
+"""Shared benchmark session state.
+
+All benchmark files share one :class:`repro.bench.ExperimentContext` so each
+application is built and swept exactly once per session. Rendered reports
+are collected and printed in the terminal summary (pytest captures stdout
+inside tests), and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.harness import ExperimentContext
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Collect a rendered report for the terminal summary and results dir."""
+
+    def _record(name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction reports")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {name} =====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The GRU extension (Section II-B: "simple adjustment").
+
+The paper notes its methods transfer to GRUs. This example demonstrates
+the GRU analogue of DRS: the update gate ``z_t`` plays the role of the
+output gate — where ``z_t`` is near zero the hidden state barely changes
+(``h_t ~= h_{t-1}``), so the candidate/reset rows can be skipped. We
+measure the numerical deviation the skip introduces as the threshold
+rises, mirroring the LSTM intra-cell trade-off.
+
+Run:  python examples/gru_extension.py
+"""
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.gru import GRULayer, gru_cell_step
+from repro.nn.initializers import WeightInitializer
+
+HIDDEN, INPUT, STEPS = 96, 64, 40
+
+
+def run_with_skip(layer: GRULayer, xs: np.ndarray, alpha: float):
+    """GRU-DRS: threshold z_t, skip trivial candidate rows."""
+    h = np.zeros(layer.hidden_size)
+    outputs, skipped = [], []
+    w = layer.weights
+    for x in xs:
+        z = sigmoid(x @ w.w_z.T + h @ w.u_z.T + w.b_z)
+        mask = z < alpha
+        h = gru_cell_step(w, x, h, skip_rows=mask)
+        outputs.append(h)
+        skipped.append(mask.mean())
+    return np.asarray(outputs), float(np.mean(skipped))
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    init = WeightInitializer(5)
+    layer = GRULayer.create(HIDDEN, INPUT, init)
+    # Bias the update gate negative so a realistic share of elements is
+    # quiet — the same statistic the LSTM zoo calibrates for o_t.
+    layer.weights.b_z -= 1.5
+
+    xs = rng.normal(size=(STEPS, INPUT)) * 0.6
+    exact = layer.forward(xs)
+
+    print("GRU dynamic row skip (update gate as the selector):")
+    print(f"{'alpha':>7} {'rows skipped':>13} {'h rel. error':>13}")
+    for alpha in (0.0, 0.02, 0.05, 0.1, 0.2, 0.3):
+        approx, skipped = run_with_skip(layer, xs, alpha)
+        err = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        print(f"{alpha:>7.2f} {skipped:>12.1%} {err:>13.4f}")
+
+    print(
+        "\nAs with the LSTM, the skipped rows' update gates are nearly "
+        "closed, so the\nhidden state they would have written barely "
+        "changes — error grows smoothly\nwith the threshold while the "
+        "candidate/reset weight loads shrink."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Word-level language modelling (PTB) — the paper's biggest winner.
+
+PTB has the largest recurrent matrices (650 hidden units) and the longest
+unrolled layers (200 cells) of Table II, so it suffers the most from the
+per-cell weight re-loads — and gains the most from the optimizations. This
+example dissects *where* the gains come from:
+
+* the baseline's Sgemv-dominated time and DRAM-saturated execution
+  (Fig. 4 / Fig. 6),
+* the weight re-load amplification across the unrolled layer (Fig. 5),
+* the inter-cell and intra-cell contributions at matched accuracy.
+
+Run:  python examples/language_model.py
+"""
+
+from repro import ExecutionMode, OptimizedLSTM
+from repro.config import get_app
+
+
+def main() -> None:
+    app_config = get_app("PTB")
+    print(
+        f"Building PTB (H={app_config.model.hidden_size}, "
+        f"{app_config.model.num_layers} layers, "
+        f"{app_config.model.seq_length} cells) ..."
+    )
+    app = OptimizedLSTM.from_app(app_config, seed=0)
+    app.calibrate(num_sequences=6)
+
+    tokens = app.sample_tokens(3, seed=11)
+    baseline = app.run(tokens, mode=ExecutionMode.BASELINE, keep_traces=True)
+    trace = baseline.traces[0]
+
+    print("\nBaseline anatomy (the Section III bottleneck):")
+    print(f"  Sgemv share of time:        {trace.time_fraction('sgemv'):.1%}")
+    print(f"  off-chip bandwidth util:    {trace.mean_utilization('dram', 'sgemv'):.1%}")
+    print(f"  on-chip bandwidth util:     {trace.mean_utilization('onchip', 'sgemv'):.1%}")
+    stalls = trace.stall_breakdown("sgemv")
+    print(f"  stalls from off-chip mem:   {stalls['off_chip_memory']:.1%}")
+
+    weight_bytes = app_config.model.recurrent_weight_bytes
+    sgemv_bytes = sum(k.dram_bytes for k in trace.kernels if k.name == "sgemv")
+    layers = app_config.model.num_layers
+    print(
+        f"  weight re-load amplification: {sgemv_bytes / (layers * weight_bytes):.0f}x "
+        f"the matrix size per layer pass (Fig. 5's ~100x observation; "
+        f"one load per cell x {app_config.model.seq_length} cells)"
+    )
+
+    print("\nOptimized executions (threshold set 3):")
+    for mode in (ExecutionMode.INTER, ExecutionMode.INTRA, ExecutionMode.COMBINED):
+        out = app.run(tokens, mode=mode, threshold_index=3)
+        print(
+            f"  {mode.value:8s}: {out.speedup_vs(baseline):.2f}x, "
+            f"energy saving {out.energy_saving_vs(baseline):.1%}, "
+            f"raw token agreement {out.agreement_with(baseline):.1%}, "
+            f"breakpoints/seq {out.mean_breakpoints:.0f}, "
+            f"rows skipped {out.mean_skip_fraction:.0%}"
+        )
+    print(
+        "\nNote: raw agreement scores *every* token, including the near-tie "
+        "predictions\na random teacher produces; the benchmark harness "
+        "measures top-5 accuracy on\nconfident tokens (the trained-LM "
+        "equivalent — see repro.workloads)."
+    )
+
+
+if __name__ == "__main__":
+    main()

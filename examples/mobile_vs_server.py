@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Why this is a *mobile* GPU problem (Section II-C).
+
+On a large GPU (Tesla M40) the united recurrent matrix of a mobile-sized
+LSTM fits comfortably in the 6 MB L2, so consecutive Sgemv launches hit
+on-chip and the redundant data movement never happens; layer-level
+parallelism is also available. On the Tegra X1 the same matrix thrashes the
+256 KB L2 every cell. This example quantifies the contrast.
+
+Run:  python examples/mobile_vs_server.py
+"""
+
+from repro import ExecutionMode, OptimizedLSTM, TEGRA_X1, TESLA_M40
+from repro.config import get_app
+
+
+def describe(spec, app_name="MR"):
+    app = OptimizedLSTM.from_app(app_name, seed=0, spec=spec)
+    app.calibrate(num_sequences=6)
+    tokens = app.sample_tokens(4, seed=1)
+    baseline = app.run(tokens, mode=ExecutionMode.BASELINE, keep_traces=True)
+    inter = app.run(tokens, mode=ExecutionMode.INTER, threshold_index=6)
+
+    trace = baseline.traces[0]
+    weight_bytes = get_app(app_name).model.recurrent_weight_bytes
+    sgemv_bytes = sum(k.dram_bytes for k in trace.kernels if k.name == "sgemv")
+    print(f"\n{spec.name}:")
+    print(f"  united U matrix:            {weight_bytes / 1024:.0f} KB "
+          f"(L2: {spec.l2_bytes / 1024:.0f} KB)")
+    print(f"  U re-loads per layer pass:  {sgemv_bytes / weight_bytes:.1f}x the matrix")
+    print(f"  baseline latency:           {baseline.mean_time * 1e3:.2f} ms/seq")
+    print(f"  inter-cell speedup:         {inter.speedup_vs(baseline):.2f}x")
+
+
+def main() -> None:
+    print(
+        "The same MR model (H=256: U is ~1 MB) on a mobile and a server GPU."
+    )
+    describe(TEGRA_X1)
+    describe(TESLA_M40)
+    print(
+        "\nOn the server GPU the matrix is L2-resident, so there is little "
+        "redundant\ntraffic for the inter-cell optimization to remove — the "
+        "bottleneck this paper\nattacks is specific to mobile memory "
+        "hierarchies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: run one Table II application through the full pipeline.
+
+Builds the BABI question-answering model from the calibrated zoo, runs the
+offline calibration (Fig. 10), and compares the exact baseline against the
+combined inter+intra optimized execution on the simulated Jetson TX1 —
+printing speedup, whole-system energy saving, and the measured accuracy
+loss, exactly the quantities of the paper's headline result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExecutionMode, OptimizedLSTM
+
+
+def main() -> None:
+    print("Building BABI (Table II: H=256, 3 layers, 86 cells) ...")
+    app = OptimizedLSTM.from_app("BABI", seed=0)
+
+    print("Offline calibration (MTS search, alpha limits, Eq. 6 links) ...")
+    calibration = app.calibrate(num_sequences=8)
+    print(
+        f"  MTS = {calibration.mts}, "
+        f"alpha_inter upper limit = {calibration.alpha_inter_max:.1f}, "
+        f"alpha_intra upper limit = {calibration.alpha_intra_max:.2f}"
+    )
+
+    tokens = app.sample_tokens(16, seed=42)
+    print(f"\nRunning {tokens.shape[0]} sequences ...")
+    baseline = app.run(tokens, mode=ExecutionMode.BASELINE)
+    print(
+        f"  baseline: {baseline.mean_time * 1e3:.2f} ms/seq, "
+        f"{baseline.mean_energy * 1e3:.1f} mJ/seq"
+    )
+
+    for index in (2, 4, 6):
+        optimized = app.run(tokens, mode=ExecutionMode.COMBINED, threshold_index=index)
+        print(
+            f"  combined set {index}: "
+            f"{optimized.speedup_vs(baseline):.2f}x speedup, "
+            f"{optimized.energy_saving_vs(baseline):.1%} energy saving, "
+            f"{optimized.agreement_with(baseline):.1%} agreement, "
+            f"tissue size {optimized.mean_tissue_size:.1f}, "
+            f"rows skipped {optimized.mean_skip_fraction:.0%}"
+        )
+
+    print(
+        "\nNote: 'agreement' here counts every sequence, including the "
+        "knife-edge\ndecisions a random teacher produces; the benchmark "
+        "harness evaluates accuracy\non confidently-decided inputs (see "
+        "repro.workloads) as trained models would.\n"
+        "\nThe paper's headline (Fig. 14): 2.54x average speedup and 47.23% "
+        "energy saving\nat a 2% (user-imperceptible) accuracy loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+The paper's figures are bar charts and line plots; the harness regenerates
+their underlying numbers as aligned text tables so the comparison with the
+paper is a column-by-column read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one figure series as two aligned rows."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("series lengths differ")
+    cells_x = [_fmt(x) for x in xs]
+    cells_y = [_fmt(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(cells_x, cells_y)]
+    label_w = max(len(x_label), len(y_label))
+    line_x = f"{x_label.ljust(label_w)}: " + "  ".join(c.rjust(w) for c, w in zip(cells_x, widths))
+    line_y = f"{y_label.ljust(label_w)}: " + "  ".join(c.rjust(w) for c, w in zip(cells_y, widths))
+    return f"{name}\n{line_x}\n{line_y}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,178 @@
+"""Command-line interface for the reproduction.
+
+Four subcommands::
+
+    repro info                         # Table I + Table II
+    repro run BABI --mode combined --set 4 --sequences 8
+    repro sweep MR --mode combined     # the Fig. 19 row for one app
+    repro figure fig14 --apps MR,PTB   # regenerate a paper figure
+
+(Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.config import APP_NAMES
+from repro.core.executor import ExecutionMode
+
+#: Figure names accepted by ``repro figure``.
+FIGURES = (
+    "table1",
+    "table2",
+    "fig04",
+    "fig06",
+    "fig09",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "overheads",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-friendly LSTMs on mobile GPUs (MICRO 2018) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print Table I and Table II")
+
+    run = sub.add_parser("run", help="run one application under one scheme")
+    run.add_argument("app", choices=[*APP_NAMES], help="Table II application")
+    run.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode],
+        default="combined",
+        help="execution scheme",
+    )
+    run.add_argument("--set", dest="threshold_set", type=int, default=4,
+                     help="threshold set index 0..10")
+    run.add_argument("--sequences", type=int, default=8, help="batch size")
+    run.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="threshold sweep for one application")
+    sweep.add_argument("app", choices=[*APP_NAMES])
+    sweep.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode if m is not ExecutionMode.BASELINE],
+        default="combined",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate a paper table/figure")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument(
+        "--apps", default=None, help="comma-separated app subset (default: all)"
+    )
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro.bench.harness import table1_platform, table2_applications
+
+    print(table1_platform())
+    print()
+    print(table2_applications())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.pipeline import OptimizedLSTM
+
+    mode = ExecutionMode(args.mode)
+    print(f"Building {args.app} ...", file=sys.stderr)
+    app = OptimizedLSTM.from_app(args.app, seed=args.seed)
+    if mode not in (ExecutionMode.BASELINE, ExecutionMode.ZERO_PRUNE):
+        app.calibrate()
+    tokens = app.sample_tokens(args.sequences, seed=args.seed + 1)
+    baseline = app.run(tokens, mode=ExecutionMode.BASELINE)
+    if mode is ExecutionMode.BASELINE:
+        print(
+            f"{args.app} baseline: {baseline.mean_time * 1e3:.2f} ms/seq, "
+            f"{baseline.mean_energy * 1e3:.1f} mJ/seq"
+        )
+        return 0
+    outcome = app.run(tokens, mode=mode, threshold_index=args.threshold_set)
+    print(
+        f"{args.app} {mode.value} (set {args.threshold_set}): "
+        f"{outcome.speedup_vs(baseline):.2f}x speedup, "
+        f"{outcome.energy_saving_vs(baseline):.1%} energy saving, "
+        f"{outcome.agreement_with(baseline):.1%} agreement"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.workloads.apps import Workload, build_workload
+
+    mode = ExecutionMode(args.mode)
+    print(f"Building the {args.app} workload ...", file=sys.stderr)
+    workload = build_workload(args.app, seed=args.seed)
+    sweep = workload.threshold_sweep(mode)
+    rows = [
+        (e.threshold_index, f"{e.speedup:.2f}x", f"{e.energy_saving:.1%}", f"{e.accuracy:.1%}")
+        for e in sweep
+    ]
+    print(
+        format_table(
+            ["set", "speedup", "energy saving", "accuracy"],
+            rows,
+            title=f"{args.app} — {mode.value} threshold sweep",
+        )
+    )
+    ao = Workload.ao_index(sweep)
+    bpa = Workload.bpa_index(sweep)
+    print(f"AO -> set {ao}; BPA -> set {bpa}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.bench import harness
+
+    if args.apps:
+        os.environ["REPRO_BENCH_APPS"] = args.apps
+    functions = {
+        "table1": lambda: harness.table1_platform(),
+        "table2": lambda: harness.table2_applications(),
+        "fig04": lambda: harness.fig04_stall_breakdown()[-1],
+        "fig06": lambda: harness.fig06_bandwidth_utilization()[-1],
+        "fig09": lambda: harness.fig09_tissue_size_sweep()[-1],
+        "fig14": lambda: harness.fig14_overall()[-1],
+        "fig15": lambda: harness.fig15_per_layer()[-1],
+        "fig16": lambda: harness.fig16_compression_schemes()[-1],
+        "fig17": lambda: harness.fig17_model_capacity()[-1],
+        "fig18": lambda: harness.fig18_user_study()[-1],
+        "fig19": lambda: harness.fig19_threshold_sweep()[-1],
+        "overheads": lambda: harness.overheads_section6f()[-1],
+    }
+    print(functions[args.name]())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

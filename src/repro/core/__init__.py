@@ -1,0 +1,65 @@
+"""The paper's contribution: inter-cell and intra-cell LSTM optimizations.
+
+* :mod:`repro.core.relevance` — Algorithm 2, the relevance value ``S``.
+* :mod:`repro.core.breakpoints` — weak-link search and layer division.
+* :mod:`repro.core.context_prediction` — Eq. 6, the predicted context link.
+* :mod:`repro.core.tissue` — tissue formation, alignment, MTS calibration.
+* :mod:`repro.core.drs` — Algorithm 3, dynamic row skip.
+* :mod:`repro.core.plan` / :mod:`repro.core.planner` — per-sequence plans.
+* :mod:`repro.core.executor` — numerically exact execution of every mode.
+* :mod:`repro.core.trace_builder` — plan -> GPU kernel trace.
+* :mod:`repro.core.thresholds` / :mod:`repro.core.tuner` — the
+  accuracy/performance knob (threshold sets, AO/BPA/UO schemes).
+* :mod:`repro.core.pipeline` — the top-level :class:`OptimizedLSTM` API.
+"""
+
+from repro.core.relevance import relevance_values, exact_relevance_values
+from repro.core.breakpoints import find_breakpoints, divide_layer, SubLayer
+from repro.core.context_prediction import ContextLinkPredictor, PredictedLink
+from repro.core.drs import trivial_row_mask, tissue_skip_mask, skip_fraction
+from repro.core.gru_adaptation import (
+    gru_compression_ratio,
+    gru_relevance_values,
+    gru_trivial_row_mask,
+)
+from repro.core.tissue import Tissue, align_tissues, form_tissues, calibrate_mts
+from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord
+from repro.core.executor import ExecutionConfig, ExecutionMode, ExecutionResult, LSTMExecutor
+from repro.core.trace_builder import build_kernel_trace
+from repro.core.thresholds import ThresholdSchedule, ThresholdSet
+from repro.core.tuner import OfflineCalibration, calibrate_offline
+from repro.core.pipeline import OptimizedLSTM, InferenceOutcome
+
+__all__ = [
+    "ContextLinkPredictor",
+    "ExecutionConfig",
+    "ExecutionMode",
+    "ExecutionResult",
+    "InferenceOutcome",
+    "LSTMExecutor",
+    "LayerPlanRecord",
+    "OfflineCalibration",
+    "OptimizedLSTM",
+    "PredictedLink",
+    "SequencePlan",
+    "SubLayer",
+    "ThresholdSchedule",
+    "ThresholdSet",
+    "Tissue",
+    "TissueRecord",
+    "align_tissues",
+    "build_kernel_trace",
+    "calibrate_mts",
+    "calibrate_offline",
+    "divide_layer",
+    "exact_relevance_values",
+    "find_breakpoints",
+    "form_tissues",
+    "gru_compression_ratio",
+    "gru_relevance_values",
+    "gru_trivial_row_mask",
+    "relevance_values",
+    "skip_fraction",
+    "tissue_skip_mask",
+    "trivial_row_mask",
+]

@@ -1,0 +1,74 @@
+"""Weak-link search and LSTM layer division (Section IV-B).
+
+A *breakpoint* is a link between consecutive cells whose relevance value is
+below the threshold ``alpha_inter``; dividing the layer at its breakpoints
+yields independent *sub-layers* that can then be parallelized (tissue
+formation, Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class SubLayer:
+    """A contiguous run of cells ``[start, end)`` within one LSTM layer."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise PlanError(f"invalid sub-layer bounds [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        """Number of cells in the sub-layer."""
+        return self.end - self.start
+
+    def timestamps(self) -> range:
+        """The original cell timestamps covered by this sub-layer."""
+        return range(self.start, self.end)
+
+
+def find_breakpoints(relevance: np.ndarray, alpha_inter: float) -> list[int]:
+    """Timestamps ``t`` whose incoming link (from ``t - 1``) is weak.
+
+    Args:
+        relevance: Per-timestep relevance ``S`` of shape ``(T,)``
+            (from :func:`repro.core.relevance.relevance_values`).
+        alpha_inter: The relevance threshold; links with ``S < alpha`` break.
+
+    Returns:
+        Sorted breakpoint timestamps in ``[1, T - 1]`` (``t = 0`` has no
+        incoming link). An ``alpha_inter`` of 0 returns no breakpoints —
+        the baseline case.
+    """
+    relevance = np.asarray(relevance, dtype=np.float64)
+    if relevance.ndim != 1:
+        raise PlanError(f"relevance must be 1-D, got shape {relevance.shape}")
+    if alpha_inter < 0:
+        raise PlanError(f"alpha_inter must be non-negative, got {alpha_inter}")
+    if alpha_inter == 0.0:
+        return []
+    return [int(t) for t in np.flatnonzero(relevance < alpha_inter) if t >= 1]
+
+
+def divide_layer(seq_length: int, breakpoints: list[int]) -> list[SubLayer]:
+    """Divide a layer of ``seq_length`` cells at the given breakpoints.
+
+    Returns sub-layers ordered by start timestamp; with no breakpoints the
+    whole layer is one sub-layer.
+    """
+    if seq_length <= 0:
+        raise PlanError(f"seq_length must be positive, got {seq_length}")
+    boundaries = sorted(set(breakpoints))
+    if boundaries and (boundaries[0] < 1 or boundaries[-1] >= seq_length):
+        raise PlanError(f"breakpoints {boundaries} out of range for length {seq_length}")
+    edges = [0, *boundaries, seq_length]
+    return [SubLayer(edges[k], edges[k + 1]) for k in range(len(edges) - 1)]

@@ -1,0 +1,110 @@
+"""Accuracy recovery — the predicted context link (Section IV-B, Eq. 6).
+
+Breaking a weak link loses the (small) information it carried. The paper
+recovers accuracy by substituting a *predicted* context link at every
+breakpoint: a fixed vector whose ``j``-th element is the expectation of the
+``j``-th element over the empirical distribution of context links,
+
+    h_bar_j = sum_i h_j(i) * rho_ij                              (Eq. 6)
+
+collected by executing the LSTM offline on a large calibration set. The
+distribution of *all* links is used (weak links share the distribution of
+strong links, and doing so keeps the predictor independent of the runtime
+threshold).
+
+The cell state ``c_{t-1}`` also crosses a breakpoint (Eq. 3 consumes it
+directly), so the predictor learns the expectation of both ``h`` and ``c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError, ShapeError
+
+
+@dataclass(frozen=True)
+class PredictedLink:
+    """The per-layer predicted context link ``(h_bar, c_bar)``."""
+
+    h_bar: np.ndarray
+    c_bar: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.h_bar.ndim != 1 or self.h_bar.shape != self.c_bar.shape:
+            raise ShapeError(
+                f"predicted link vectors must be 1-D and equal-shaped, got "
+                f"{self.h_bar.shape} and {self.c_bar.shape}"
+            )
+
+    @property
+    def hidden_size(self) -> int:
+        """Width of the predicted vectors."""
+        return self.h_bar.shape[0]
+
+    @classmethod
+    def zeros(cls, hidden_size: int) -> "PredictedLink":
+        """A trivial predictor (the ablation of DESIGN.md §6)."""
+        return cls(h_bar=np.zeros(hidden_size), c_bar=np.zeros(hidden_size))
+
+
+class ContextLinkPredictor:
+    """Collects context-link samples and produces Eq. 6 expectations.
+
+    The expectation is computed through an explicit per-element histogram,
+    mirroring the paper's formulation (value distribution ``rho_ij`` per
+    element ``j``); with enough bins this converges to the sample mean.
+    """
+
+    def __init__(self, hidden_size: int, num_bins: int = 64) -> None:
+        if hidden_size <= 0:
+            raise CalibrationError("hidden_size must be positive")
+        if num_bins < 2:
+            raise CalibrationError("num_bins must be at least 2")
+        self._hidden = hidden_size
+        self._bins = num_bins
+        self._h_samples: list[np.ndarray] = []
+        self._c_samples: list[np.ndarray] = []
+
+    @property
+    def num_samples(self) -> int:
+        """Number of collected link samples."""
+        return sum(arr.shape[0] for arr in self._h_samples)
+
+    def observe(self, hs: np.ndarray, cs: np.ndarray) -> None:
+        """Record the links of one executed sequence.
+
+        Args:
+            hs / cs: Per-timestep outputs and states of shape ``(T, H)``.
+        """
+        hs = np.atleast_2d(np.asarray(hs, dtype=np.float64))
+        cs = np.atleast_2d(np.asarray(cs, dtype=np.float64))
+        if hs.shape != cs.shape or hs.shape[1] != self._hidden:
+            raise ShapeError(
+                f"expected matching (T, {self._hidden}) arrays, got {hs.shape}/{cs.shape}"
+            )
+        self._h_samples.append(hs)
+        self._c_samples.append(cs)
+
+    def fit(self) -> PredictedLink:
+        """Compute the Eq. 6 expectation vector from the collected samples."""
+        if not self._h_samples:
+            raise CalibrationError("no context-link samples collected")
+        hs = np.concatenate(self._h_samples, axis=0)
+        cs = np.concatenate(self._c_samples, axis=0)
+        return PredictedLink(
+            h_bar=self._expectation(hs), c_bar=self._expectation(cs)
+        )
+
+    def _expectation(self, samples: np.ndarray) -> np.ndarray:
+        """Histogram expectation per element (Eq. 6)."""
+        expect = np.empty(self._hidden)
+        for j in range(self._hidden):
+            column = samples[:, j]
+            counts, edges = np.histogram(column, bins=self._bins)
+            centers = 0.5 * (edges[:-1] + edges[1:])
+            rho = counts / counts.sum()
+            expect[j] = float(np.dot(centers, rho))
+        return expect

@@ -1,0 +1,91 @@
+"""Dynamic Row Skip — Algorithm 3 (Section V-A).
+
+``h_t = o_t * tanh(c_t)`` (Eq. 5): wherever an element of ``o_t`` is near
+zero the matching element of ``h_t`` is near zero *regardless* of ``c_t``,
+so the rows of ``U_f``, ``U_i`` and ``U_c`` that feed that element are
+irrelevant to the cell output. DRS computes ``o_t`` first, thresholds it
+against ``alpha_intra`` and skips the loads and computations of the trivial
+rows. ``U_o`` is never skipped — it produces the selector itself.
+
+When the inter-cell optimization is active, the cells fused into one tissue
+share a single ``Sgemm(U_{f,i,c}, H_t)``; a row can then only be skipped if
+it is trivial for *every* cell of the tissue (otherwise the shared load must
+happen anyway). :func:`tissue_skip_mask` computes that intersection — this
+shared-load constraint is exactly the "overlap" the paper cites when noting
+the combined gains are less than the sum of the individual gains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+
+
+def trivial_row_mask(o_t: np.ndarray, alpha_intra: float) -> np.ndarray:
+    """Boolean mask of trivial rows for one cell (``True`` = skip).
+
+    Args:
+        o_t: Output-gate activations, shape ``(H,)`` or ``(B, H)`` —
+            sigmoid outputs in ``[0, 1]``.
+        alpha_intra: The near-zero threshold; 0 disables skipping entirely
+            (the baseline case).
+    """
+    o_t = np.asarray(o_t, dtype=np.float64)
+    if alpha_intra < 0:
+        raise PlanError(f"alpha_intra must be non-negative, got {alpha_intra}")
+    if alpha_intra == 0.0:
+        return np.zeros_like(o_t, dtype=bool)
+    return o_t < alpha_intra
+
+
+def tissue_skip_mask(masks: Sequence[np.ndarray]) -> np.ndarray:
+    """Intersection of per-cell trivial-row masks within one tissue.
+
+    A row of the shared weight load can be skipped only when every fused
+    cell finds it trivial.
+    """
+    if not masks:
+        raise PlanError("tissue_skip_mask needs at least one cell mask")
+    out = np.asarray(masks[0], dtype=bool).copy()
+    for mask in masks[1:]:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != out.shape:
+            raise PlanError("tissue cell masks must share one shape")
+        out &= mask
+    return out
+
+
+def skip_fraction(mask: np.ndarray) -> float:
+    """Fraction of rows skipped (the per-cell compression knob)."""
+    mask = np.asarray(mask, dtype=bool)
+    return float(mask.mean()) if mask.size else 0.0
+
+
+def skipped_weight_bytes(
+    hidden_size: int, mask: np.ndarray, dtype_bytes: int = 4
+) -> tuple[float, float]:
+    """Bytes of ``U_{f,i,c}`` actually loaded vs. the full load.
+
+    Returns:
+        ``(loaded_bytes, full_bytes)`` for the 3H x H united matrix. ``U_o``
+        is accounted separately by the executor (it is always fully loaded).
+    """
+    full = 3.0 * hidden_size * hidden_size * dtype_bytes
+    loaded = full * (1.0 - skip_fraction(mask))
+    return loaded, full
+
+
+def compression_ratio(masks: Sequence[np.ndarray]) -> float:
+    """Average fraction of ``U_{f,i,c,o}`` weight bytes eliminated.
+
+    The Fig. 16a metric: the skipped rows cover 3 of the 4 gate matrices,
+    so a mean per-cell skip fraction ``r`` compresses the united matrix by
+    ``0.75 * r``.
+    """
+    if not masks:
+        return 0.0
+    mean_skip = float(np.mean([skip_fraction(m) for m in masks]))
+    return 0.75 * mean_skip

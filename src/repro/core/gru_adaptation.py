@@ -1,0 +1,123 @@
+"""The GRU adjustment of the paper's techniques (Section II-B).
+
+The paper notes its methods "can also be applied to GRUs with simple
+adjustment". The adjustments:
+
+* **Relevance (inter-cell).** A GRU cell's context link is weak when the
+  previous hidden state cannot modulate the new one. ``h_{t-1}`` enters
+  through three paths — the update gate ``z``, the reset gate ``r``, and
+  the pass-through term ``(1 - z) * h_{t-1}``. The sensitive-area argument
+  of Algorithm 2 transfers directly to the ``z`` and ``r`` sigmoids and to
+  the candidate tanh; the pass-through is covered by requiring ``z`` to
+  saturate *high* (``z ~ 1`` discards the old state entirely — the GRU's
+  one-sided analogue of the forget gate's role in Eq. 3).
+* **Row skipping (intra-cell).** The update gate plays the output gate's
+  selector role: where ``z_t`` is near zero, ``h_t ~= h_{t-1}`` regardless
+  of the candidate, so the matching rows of ``U_r`` and ``U_n`` can skip
+  their loads and computations (see :func:`repro.nn.gru.gru_cell_step`,
+  which implements the skip numerics).
+
+Only two of the three recurrent matrices are skippable (``U_z`` is the
+selector), so the ceiling on weight compression is ``2/3`` of the united
+matrix instead of the LSTM's ``3/4``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import SENSITIVE_WIDTH
+from repro.nn.gru import GRU_GATE_ORDER, GRUCellWeights
+
+
+def gru_recurrent_row_ranges(weights: GRUCellWeights) -> dict[str, np.ndarray]:
+    """Row-wise L1 norms of the GRU recurrent matrices (Algorithm 2 line 2).
+
+    ``h_{t-1}`` is bounded to ``[-1, 1]`` (the GRU output is a convex
+    combination of tanh values), so ``[-D_g, D_g]`` bounds each gate's
+    recurrent contribution.
+    """
+    return {g: np.abs(getattr(weights, f"u_{g}")).sum(axis=1) for g in GRU_GATE_ORDER}
+
+
+def _check_projections(weights: GRUCellWeights, x_proj: dict[str, np.ndarray]) -> int:
+    hidden = weights.hidden_size
+    length = None
+    for gate in GRU_GATE_ORDER:
+        if gate not in x_proj:
+            raise ShapeError(f"x_proj missing GRU gate {gate!r}")
+        arr = x_proj[gate]
+        if arr.ndim != 2 or arr.shape[1] != hidden:
+            raise ShapeError(f"x_proj[{gate!r}] must be (T, {hidden}), got {arr.shape}")
+        if length is None:
+            length = arr.shape[0]
+        elif arr.shape[0] != length:
+            raise ShapeError("x_proj gates disagree on sequence length")
+    assert length is not None
+    return length
+
+
+def gru_relevance_values(
+    weights: GRUCellWeights,
+    x_proj: dict[str, np.ndarray],
+    row_ranges: dict[str, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Per-timestep relevance of the GRU context link.
+
+    Mirrors Algorithm 2's structure:
+
+    * ``S_z`` — the update gate's sensitive-area overlap, measured
+      one-sidedly like the LSTM forget gate but in the *opposite*
+      direction: the link is severed when ``z`` saturates at 1 (old state
+      discarded), i.e. when the reachable range sits above +2.
+    * ``S_r`` / ``S_n`` — symmetric overlaps for the reset gate and the
+      candidate (the line-5 expression).
+    * Per element: ``S = S_z * (S_r + S_n)`` — the old state matters only
+      if the update gate is still modulating (``S_z`` > 0), through either
+      the reset path or the candidate path. Summed over the hidden dim.
+    """
+    length = _check_projections(weights, x_proj)
+    ranges = row_ranges if row_ranges is not None else gru_recurrent_row_ranges(weights)
+
+    # One-sided update-gate term: zero iff the whole range is above +2.
+    center_z = x_proj["z"] + weights.b_z
+    s_z = np.minimum(SENSITIVE_WIDTH, np.maximum(2.0 - (center_z - ranges["z"]), 0.0))
+
+    per_gate = {}
+    for gate in ("r", "n"):
+        center = np.abs(x_proj[gate] + getattr(weights, f"b_{gate}"))
+        term_a = 2.0 + np.minimum(2.0, center)
+        term_b = np.minimum(2.0, 2.0 + ranges[gate] - np.maximum(2.0, center))
+        per_gate[gate] = np.clip(np.minimum(term_a, term_b), 0.0, SENSITIVE_WIDTH)
+
+    s_elem = s_z * (per_gate["r"] + per_gate["n"])
+    s = s_elem.sum(axis=1)
+    if s.shape != (length,):
+        raise ShapeError("internal: GRU relevance reduction produced a bad shape")
+    return s
+
+
+def gru_trivial_row_mask(z_t: np.ndarray, alpha_intra: float) -> np.ndarray:
+    """Trivial rows for GRU-DRS: update-gate elements near zero.
+
+    Where ``z_t < alpha`` the new hidden value is (almost) the old one, so
+    the reset/candidate rows feeding that element are irrelevant.
+    """
+    z_t = np.asarray(z_t, dtype=np.float64)
+    if alpha_intra < 0:
+        raise ShapeError(f"alpha_intra must be non-negative, got {alpha_intra}")
+    if alpha_intra == 0.0:
+        return np.zeros_like(z_t, dtype=bool)
+    return z_t < alpha_intra
+
+
+def gru_compression_ratio(masks) -> float:
+    """Fraction of the united GRU recurrent matrix eliminated.
+
+    The skipped rows cover ``U_r`` and ``U_n`` — 2 of the 3 gate matrices.
+    """
+    if not masks:
+        return 0.0
+    mean_skip = float(np.mean([np.asarray(m, dtype=bool).mean() for m in masks]))
+    return (2.0 / 3.0) * mean_skip

@@ -1,0 +1,218 @@
+"""The top-level public API: :class:`OptimizedLSTM`.
+
+Typical use::
+
+    from repro import OptimizedLSTM, ExecutionMode
+
+    app = OptimizedLSTM.from_app("BABI", seed=0)
+    app.calibrate(num_sequences=16)                  # offline (Fig. 10)
+    base = app.run(tokens, mode=ExecutionMode.BASELINE)
+    fast = app.run(tokens, mode=ExecutionMode.COMBINED, threshold_index=4)
+    print(fast.speedup_vs(base), fast.agreement_with(base))
+
+``run`` executes the exact numerics of the chosen scheme *and* replays the
+recorded plan on the GPU timing model, so one call yields predictions,
+simulated latency, and simulated whole-system energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import AppConfig, get_app
+from repro.core.executor import (
+    ExecutionConfig,
+    ExecutionMode,
+    ExecutionResult,
+    LSTMExecutor,
+)
+from repro.core.tuner import OfflineCalibration, calibrate_offline
+from repro.errors import CalibrationError, ConfigurationError
+from repro.gpu.simulator import TimingSimulator
+from repro.gpu.specs import GPUSpec, TEGRA_X1
+from repro.gpu.trace import TraceSummary
+from repro.nn.model_zoo import build_calibrated_network
+from repro.nn.network import LSTMNetwork
+
+
+@dataclass
+class InferenceOutcome:
+    """Numerics plus simulated platform behaviour of one batched inference."""
+
+    mode: ExecutionMode
+    logits: np.ndarray
+    predictions: np.ndarray
+    times: np.ndarray
+    energies: np.ndarray
+    mean_tissue_size: float
+    mean_skip_fraction: float
+    mean_breakpoints: float
+    traces: list[TraceSummary] = field(default_factory=list)
+    result: ExecutionResult | None = None
+
+    @property
+    def mean_time(self) -> float:
+        """Mean simulated latency per sequence (s)."""
+        return float(self.times.mean())
+
+    @property
+    def mean_energy(self) -> float:
+        """Mean simulated whole-system energy per sequence (J)."""
+        return float(self.energies.mean())
+
+    def speedup_vs(self, baseline: "InferenceOutcome") -> float:
+        """Latency speedup relative to another outcome."""
+        return baseline.mean_time / self.mean_time
+
+    def energy_saving_vs(self, baseline: "InferenceOutcome") -> float:
+        """Fractional energy saving relative to another outcome."""
+        return 1.0 - self.mean_energy / baseline.mean_energy
+
+    def agreement_with(self, baseline: "InferenceOutcome") -> float:
+        """Fraction of matching predictions (per token for LM/MT heads).
+
+        This is the paper's Δ-accuracy metric: the baseline is exact, so
+        ``1 - agreement`` is the accuracy loss of the approximation.
+        """
+        if self.predictions.shape != baseline.predictions.shape:
+            raise ConfigurationError("outcomes were produced on different batches")
+        return float(np.mean(self.predictions == baseline.predictions))
+
+
+class OptimizedLSTM:
+    """Memory-friendly LSTM inference on a simulated mobile GPU."""
+
+    def __init__(self, network: LSTMNetwork, spec: GPUSpec = TEGRA_X1) -> None:
+        self.network = network
+        self.spec = spec
+        self.calibration: OfflineCalibration | None = None
+        self._calibration_tokens: np.ndarray | None = None
+        self._rng = np.random.default_rng(0xA11CE)
+
+    @classmethod
+    def from_app(
+        cls, app: str | AppConfig, seed: int = 0, spec: GPUSpec = TEGRA_X1
+    ) -> "OptimizedLSTM":
+        """Build a Table II application from the calibrated model zoo."""
+        app_config = get_app(app) if isinstance(app, str) else app
+        network = build_calibrated_network(app_config, seed=seed)
+        instance = cls(network, spec=spec)
+        instance._app_config = app_config
+        return instance
+
+    def sample_tokens(self, num_sequences: int, seed: int | None = None) -> np.ndarray:
+        """Draw a synthetic token batch matching the model geometry."""
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        return rng.integers(
+            0,
+            self.network.vocab_size,
+            size=(num_sequences, self.network.config.seq_length),
+        )
+
+    def calibrate(
+        self,
+        tokens: np.ndarray | None = None,
+        num_sequences: int = 8,
+        mts: int | None = None,
+    ) -> OfflineCalibration:
+        """Run the offline operations of Fig. 10 and cache the result."""
+        if tokens is None:
+            tokens = self.sample_tokens(num_sequences, seed=0xCA11B)
+        self._calibration_tokens = np.asarray(tokens)
+        self.calibration = calibrate_offline(
+            self.network, self._calibration_tokens, spec=self.spec, mts=mts
+        )
+        return self.calibration
+
+    def _require_calibration(self) -> OfflineCalibration:
+        if self.calibration is None:
+            raise CalibrationError("call calibrate() before optimized execution")
+        return self.calibration
+
+    def execution_config(
+        self,
+        mode: ExecutionMode,
+        alpha_inter: float | None = None,
+        alpha_intra: float | None = None,
+        threshold_index: int | None = None,
+        drs_style: str = "hardware",
+        zero_prune_fraction: float = 0.37,
+    ) -> ExecutionConfig:
+        """Resolve thresholds (explicit, by schedule index, or maxima)."""
+        if mode is ExecutionMode.BASELINE:
+            return ExecutionConfig(mode=mode, spec=self.spec)
+        if mode is ExecutionMode.ZERO_PRUNE:
+            return ExecutionConfig(
+                mode=mode, spec=self.spec, zero_prune_fraction=zero_prune_fraction
+            )
+        calibration = self._require_calibration()
+        if threshold_index is not None:
+            ts = calibration.schedule()[threshold_index]
+            alpha_inter = ts.alpha_inter if alpha_inter is None else alpha_inter
+            alpha_intra = ts.alpha_intra if alpha_intra is None else alpha_intra
+        if alpha_inter is None:
+            alpha_inter = calibration.alpha_inter_max
+        if alpha_intra is None:
+            alpha_intra = calibration.alpha_intra_max
+        if mode is ExecutionMode.INTER:
+            alpha_intra = 0.0
+        if mode is ExecutionMode.INTRA:
+            alpha_inter = 0.0
+        return ExecutionConfig(
+            mode=mode,
+            alpha_inter=alpha_inter,
+            alpha_intra=alpha_intra,
+            mts=calibration.mts,
+            drs_style=drs_style,
+            spec=self.spec,
+        )
+
+    def run(
+        self,
+        tokens: np.ndarray,
+        mode: ExecutionMode = ExecutionMode.COMBINED,
+        alpha_inter: float | None = None,
+        alpha_intra: float | None = None,
+        threshold_index: int | None = None,
+        drs_style: str = "hardware",
+        zero_prune_fraction: float = 0.37,
+        keep_traces: bool = False,
+        keep_result: bool = False,
+    ) -> InferenceOutcome:
+        """Execute a batch under one scheme and simulate it on the GPU model."""
+        config = self.execution_config(
+            mode,
+            alpha_inter=alpha_inter,
+            alpha_intra=alpha_intra,
+            threshold_index=threshold_index,
+            drs_style=drs_style,
+            zero_prune_fraction=zero_prune_fraction,
+        )
+        links = self.calibration.predicted_links if self.calibration is not None else None
+        executor = LSTMExecutor(self.network, config, predicted_links=links)
+        result = executor.run_batch(np.asarray(tokens))
+
+        simulator = TimingSimulator(self.spec)
+        times, energies, traces = [], [], []
+        for plan in result.plans:
+            trace = simulator.run_trace(executor.kernel_trace(plan))
+            times.append(trace.total_time)
+            energies.append(trace.total_energy)
+            if keep_traces:
+                traces.append(trace)
+
+        plans = result.plans
+        return InferenceOutcome(
+            mode=mode,
+            logits=result.logits,
+            predictions=result.predictions(),
+            times=np.asarray(times),
+            energies=np.asarray(energies),
+            mean_tissue_size=float(np.mean([p.mean_tissue_size for p in plans])),
+            mean_skip_fraction=float(np.mean([p.mean_skip_fraction for p in plans])),
+            mean_breakpoints=float(np.mean([p.total_breakpoints for p in plans])),
+            traces=traces,
+            result=result if keep_result else None,
+        )

@@ -1,0 +1,116 @@
+"""Execution-plan records.
+
+The executor separates *numerics* from *timing*: while it runs the exact
+arithmetic of an optimized execution, it records — per sequence, per layer —
+the structural decisions the optimizations made (breakpoints, tissue
+composition, rows skipped). The :mod:`repro.core.trace_builder` later turns
+these records into the GPU kernel trace that the timing simulator consumes.
+This mirrors the paper's own methodology (Fig. 13): PyTorch produces the
+breakpoints and trivial-row counts, DeepBench replays them on the board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlanError
+
+
+@dataclass
+class TissueRecord:
+    """One executed tissue (or single cell when the inter level is off).
+
+    Attributes:
+        cells: The fused cells as ``(sublayer_index, timestamp)`` pairs.
+        skip_fraction: Fraction of ``U_{f,i,c}`` rows skipped by the tissue's
+            shared load (the intersection mask; 0 when DRS is off).
+        warp_skip_fraction: Fraction of warps that were *entirely* trivial —
+            what a software-only DRS can skip without divergence.
+    """
+
+    cells: list[tuple[int, int]]
+    skip_fraction: float = 0.0
+    warp_skip_fraction: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of fused cells."""
+        return len(self.cells)
+
+
+@dataclass
+class LayerPlanRecord:
+    """Structural record of one layer's optimized execution."""
+
+    layer_index: int
+    hidden_size: int
+    input_size: int
+    seq_length: int
+    breakpoints: list[int] = field(default_factory=list)
+    sublayer_lengths: list[int] = field(default_factory=list)
+    tissues: list[TissueRecord] = field(default_factory=list)
+    relevance: np.ndarray | None = None
+
+    @property
+    def num_sublayers(self) -> int:
+        """Number of independent sub-layers after division."""
+        return len(self.sublayer_lengths) if self.sublayer_lengths else 1
+
+    @property
+    def num_tissues(self) -> int:
+        """Number of tissues (equals cell count when the inter level is off)."""
+        return len(self.tissues)
+
+    @property
+    def mean_tissue_size(self) -> float:
+        """Average number of cells fused per tissue."""
+        if not self.tissues:
+            return 0.0
+        return float(np.mean([t.size for t in self.tissues]))
+
+    @property
+    def mean_skip_fraction(self) -> float:
+        """Cell-weighted average skipped-row fraction."""
+        if not self.tissues:
+            return 0.0
+        total_cells = sum(t.size for t in self.tissues)
+        return sum(t.skip_fraction * t.size for t in self.tissues) / total_cells
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests)."""
+        covered = sorted(t for rec in self.tissues for _, t in rec.cells)
+        if covered != list(range(self.seq_length)):
+            raise PlanError(
+                f"layer {self.layer_index}: tissues cover {len(covered)} cells, "
+                f"expected {self.seq_length}"
+            )
+        if self.sublayer_lengths and sum(self.sublayer_lengths) != self.seq_length:
+            raise PlanError(f"layer {self.layer_index}: sub-layer lengths are inconsistent")
+
+
+@dataclass
+class SequencePlan:
+    """Per-sequence execution plan: one record per layer."""
+
+    layers: list[LayerPlanRecord]
+
+    @property
+    def total_breakpoints(self) -> int:
+        """Breakpoints found across all layers."""
+        return sum(len(rec.breakpoints) for rec in self.layers)
+
+    @property
+    def mean_tissue_size(self) -> float:
+        """Layer-averaged mean tissue size."""
+        if not self.layers:
+            return 0.0
+        return float(np.mean([rec.mean_tissue_size for rec in self.layers]))
+
+    @property
+    def mean_skip_fraction(self) -> float:
+        """Layer-averaged mean skipped-row fraction."""
+        if not self.layers:
+            return 0.0
+        return float(np.mean([rec.mean_skip_fraction for rec in self.layers]))

@@ -1,0 +1,144 @@
+"""Threshold sets and the AO / BPA / UO selection schemes (Sections VI-C/E).
+
+Both optimizations are gated by a threshold — ``alpha_inter`` on the
+relevance value and ``alpha_intra`` on the output gate. The paper explores
+11 *threshold sets*, each pairing one value per knob, from set 0 (both
+zero: the baseline, no accuracy loss) to set 10 (both at their upper
+limits: maximum performance). On top of the schedule sit three selection
+schemes:
+
+* **AO** (accuracy oriented): the most aggressive set whose accuracy loss
+  stays within the user-imperceptible budget (2 %).
+* **BPA** (best performance-accuracy): the set maximizing
+  ``speedup x accuracy``.
+* **UO** (user oriented): per-user dynamic tuning; implemented in
+  :mod:`repro.workloads.userstudy` where user preferences exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Number of threshold sets explored by the paper (0 .. 10).
+NUM_THRESHOLD_SETS: int = 11
+
+
+@dataclass(frozen=True)
+class ThresholdSet:
+    """One (alpha_inter, alpha_intra) pair of the Fig. 19 sweep."""
+
+    index: int
+    alpha_inter: float
+    alpha_intra: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("threshold set index must be non-negative")
+        if self.alpha_inter < 0 or self.alpha_intra < 0:
+            raise ConfigurationError("thresholds must be non-negative")
+
+
+class ThresholdSchedule:
+    """The 11-point threshold schedule between baseline and the upper limits.
+
+    Set ``i`` linearly interpolates both knobs between 0 and their maxima
+    (the maxima come from the offline calibration of Fig. 10: the
+    ``alpha_inter`` value that already reaches the minimum tissue count, and
+    the largest meaningful near-zero threshold for ``alpha_intra``).
+    """
+
+    def __init__(
+        self,
+        alpha_inter_max: float,
+        alpha_intra_max: float = 0.5,
+        count: int = NUM_THRESHOLD_SETS,
+    ) -> None:
+        if alpha_inter_max < 0 or alpha_intra_max < 0:
+            raise ConfigurationError("threshold maxima must be non-negative")
+        if count < 2:
+            raise ConfigurationError("a schedule needs at least 2 sets")
+        self.alpha_inter_max = float(alpha_inter_max)
+        self.alpha_intra_max = float(alpha_intra_max)
+        self._sets = tuple(
+            ThresholdSet(
+                index=i,
+                alpha_inter=alpha_inter_max * i / (count - 1),
+                alpha_intra=alpha_intra_max * i / (count - 1),
+            )
+            for i in range(count)
+        )
+
+    @classmethod
+    def from_values(
+        cls, alpha_inter_values, alpha_intra_values
+    ) -> "ThresholdSchedule":
+        """Build a schedule from explicit per-set threshold values.
+
+        Used by the offline calibration, which spaces the ``alpha_inter``
+        steps in *relevance-quantile* space: the relevance sum concentrates
+        tightly around its mean (a central-limit effect of the per-element
+        reduction in Algorithm 2), so linearly spaced raw thresholds would
+        leave most sets identical to the baseline. Quantile spacing makes
+        set ``i`` break an approximately proportional share of the links —
+        the same monotone knob, usefully graduated.
+        """
+        inter = [float(v) for v in alpha_inter_values]
+        intra = [float(v) for v in alpha_intra_values]
+        if len(inter) != len(intra) or len(inter) < 2:
+            raise ConfigurationError("need matching value lists of length >= 2")
+        if sorted(inter) != inter or sorted(intra) != intra:
+            raise ConfigurationError("threshold values must be non-decreasing")
+        instance = cls.__new__(cls)
+        instance.alpha_inter_max = inter[-1]
+        instance.alpha_intra_max = intra[-1]
+        instance._sets = tuple(
+            ThresholdSet(index=i, alpha_inter=a, alpha_intra=b)
+            for i, (a, b) in enumerate(zip(inter, intra))
+        )
+        return instance
+
+    @property
+    def sets(self) -> tuple[ThresholdSet, ...]:
+        """All threshold sets, baseline first."""
+        return self._sets
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __getitem__(self, index: int) -> ThresholdSet:
+        return self._sets[index]
+
+    def __iter__(self):
+        return iter(self._sets)
+
+
+def select_ao(
+    accuracies: np.ndarray, target_accuracy: float = 0.98
+) -> int:
+    """AO scheme: the most aggressive set meeting the accuracy target.
+
+    Args:
+        accuracies: Accuracy per threshold set (index-aligned, set 0 first).
+        target_accuracy: The user-imperceptible floor (paper: 98 %).
+
+    Returns:
+        Index of the chosen set (set 0 always qualifies — it is exact).
+    """
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if accuracies.ndim != 1 or accuracies.size == 0:
+        raise ConfigurationError("accuracies must be a non-empty 1-D array")
+    qualifying = np.flatnonzero(accuracies >= target_accuracy)
+    return int(qualifying[-1]) if qualifying.size else 0
+
+
+def select_bpa(accuracies: np.ndarray, speedups: np.ndarray) -> int:
+    """BPA scheme: the set maximizing ``speedup x accuracy``."""
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    speedups = np.asarray(speedups, dtype=np.float64)
+    if accuracies.shape != speedups.shape or accuracies.ndim != 1:
+        raise ConfigurationError("accuracies and speedups must be matching 1-D arrays")
+    return int(np.argmax(accuracies * speedups))

@@ -1,0 +1,160 @@
+"""Tissue formation, alignment, and MTS calibration (Sections IV-C / IV-D).
+
+Once a layer is divided into independent sub-layers, one cell per sub-layer
+is fused into a *tissue*; all cells of a tissue execute concurrently as a
+single ``Sgemm(U_{f,i,c,o}, H_t)``, so the united weight matrix is loaded
+once per tissue instead of once per cell. The data dependence along each
+sub-layer becomes a dependence across tissues.
+
+Naive formation (:func:`form_tissues`) takes the ``k``-th cell of every
+sub-layer, which produces *fat* tissues (wider than the maximum tissue
+size, oversubscribing shared-memory bandwidth) early and *thin* tissues
+late. :func:`align_tissues` rebalances: it schedules the sub-layer chains
+onto tissue slots of capacity MTS, preferring the longest remaining chain
+(the classic longest-processing-time rule), which both respects every chain
+dependence and minimizes the number of tissues.
+
+:func:`calibrate_mts` performs the offline step 1 of Fig. 10: sweep the
+tissue size on the target GPU model and return the knee of the performance
+curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.breakpoints import SubLayer
+from repro.errors import CalibrationError, PlanError
+
+
+@dataclass
+class Tissue:
+    """One tissue: the fused cells, each identified as (sub-layer, timestamp)."""
+
+    cells: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of fused cells."""
+        return len(self.cells)
+
+    def timestamps(self) -> list[int]:
+        """Original cell timestamps inside this tissue."""
+        return [t for _, t in self.cells]
+
+
+def form_tissues(sublayers: list[SubLayer]) -> list[Tissue]:
+    """Naive tissue formation: fuse the k-th cell of every sub-layer.
+
+    This reproduces Fig. 8(b1): tissue ``k`` contains one cell from every
+    sub-layer that still has a ``k``-th cell, so early tissues are as wide
+    as the number of sub-layers and late tissues shrink.
+    """
+    if not sublayers:
+        raise PlanError("form_tissues needs at least one sub-layer")
+    longest = max(s.length for s in sublayers)
+    tissues = []
+    for k in range(longest):
+        cells = [
+            (idx, sub.start + k) for idx, sub in enumerate(sublayers) if k < sub.length
+        ]
+        tissues.append(Tissue(cells=cells))
+    return tissues
+
+
+def align_tissues(sublayers: list[SubLayer], mts: int) -> list[Tissue]:
+    """Tissue formation + alignment under the maximum tissue size.
+
+    Greedy chain scheduling: at every tissue step each sub-layer offers its
+    next unscheduled cell; if more than ``mts`` are on offer, the sub-layers
+    with the most remaining cells win (LPT rule). No context link is broken
+    beyond the existing breakpoints and every tissue has ``size <= mts``.
+    """
+    if mts < 1:
+        raise PlanError(f"mts must be >= 1, got {mts}")
+    if not sublayers:
+        raise PlanError("align_tissues needs at least one sub-layer")
+    progress = [0] * len(sublayers)
+    tissues: list[Tissue] = []
+    remaining = sum(s.length for s in sublayers)
+    while remaining > 0:
+        candidates = [
+            idx for idx, sub in enumerate(sublayers) if progress[idx] < sub.length
+        ]
+        # Longest remaining chain first; stable tie-break on sub-layer index.
+        candidates.sort(key=lambda idx: (-(sublayers[idx].length - progress[idx]), idx))
+        chosen = candidates[:mts]
+        cells = []
+        for idx in sorted(chosen):
+            cells.append((idx, sublayers[idx].start + progress[idx]))
+            progress[idx] += 1
+            remaining -= 1
+        tissues.append(Tissue(cells=cells))
+    return tissues
+
+
+def validate_schedule(sublayers: list[SubLayer], tissues: list[Tissue], mts: int) -> None:
+    """Check a tissue schedule: capacity, coverage, and chain order.
+
+    Raises :class:`~repro.errors.PlanError` on any violation. Used by tests
+    and by the executor's debug mode.
+    """
+    seen: dict[tuple[int, int], int] = {}
+    for step, tissue in enumerate(tissues):
+        if tissue.size > mts:
+            raise PlanError(f"tissue {step} has {tissue.size} cells (MTS {mts})")
+        for cell in tissue.cells:
+            if cell in seen:
+                raise PlanError(f"cell {cell} scheduled twice")
+            seen[cell] = step
+    expected = {
+        (idx, t) for idx, sub in enumerate(sublayers) for t in sub.timestamps()
+    }
+    if set(seen) != expected:
+        raise PlanError("tissue schedule does not cover the layer exactly")
+    for idx, sub in enumerate(sublayers):
+        steps = [seen[(idx, t)] for t in sub.timestamps()]
+        if any(b <= a for a, b in zip(steps, steps[1:])):
+            raise PlanError(f"sub-layer {idx} chain order violated")
+
+
+def minimum_tissues(sublayers: list[SubLayer], mts: int) -> int:
+    """Lower bound on the tissue count (Eq. 7 generalized to real chains).
+
+    The schedule can finish no earlier than the longest chain and no faster
+    than total-work over capacity: ``max(longest, ceil(N / MTS))``.
+    """
+    if mts < 1:
+        raise PlanError(f"mts must be >= 1, got {mts}")
+    total = sum(s.length for s in sublayers)
+    longest = max(s.length for s in sublayers)
+    return max(longest, -(-total // mts))
+
+
+def calibrate_mts(
+    spec,
+    hidden_size: int,
+    seq_length: int = 60,
+    max_tissue_size: int = 12,
+) -> int:
+    """Offline MTS search (Fig. 10, step 1).
+
+    Simulates one LSTM layer executed with forced equal division into
+    tissues of size ``1 .. max_tissue_size`` on the given GPU spec and
+    returns the size with the best performance — the knee of Fig. 9.
+    """
+    from repro.core.trace_builder import forced_tissue_layer_trace
+    from repro.gpu.simulator import TimingSimulator
+
+    if max_tissue_size < 1:
+        raise CalibrationError("max_tissue_size must be >= 1")
+    simulator = TimingSimulator(spec)
+    best_size, best_time = 1, float("inf")
+    for size in range(1, max_tissue_size + 1):
+        trace = simulator.run_trace(
+            forced_tissue_layer_trace(spec, hidden_size, seq_length, size)
+        )
+        if trace.total_time < best_time:
+            best_time = trace.total_time
+            best_size = size
+    return best_size

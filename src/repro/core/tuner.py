@@ -1,0 +1,196 @@
+"""Offline operations of the inter/intra framework (Fig. 10, steps 1-4).
+
+Given a network, a calibration token batch and a GPU spec, the tuner:
+
+1. **Determines the MTS** by sweeping the tissue size on the GPU model
+   (:func:`repro.core.tissue.calibrate_mts`).
+2. **Finds the upper limit of** ``alpha_inter`` — the smallest relevance
+   threshold that already drives the tissue count down to the minimum
+   ``N_min = ceil(N_origin / MTS)`` (Eq. 7); pushing the threshold past
+   this point only costs accuracy without saving further weight loads.
+3. **Fits the predicted context links** (Eq. 6) from the distribution of
+   links observed in an exact calibration run.
+4. **Adjusts thresholds to the user-preferred accuracy** — exposed as
+   :func:`accuracy_guided_index` over a measured accuracy curve (the AO
+   selection of :mod:`repro.core.thresholds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.breakpoints import divide_layer
+from repro.core.context_prediction import ContextLinkPredictor, PredictedLink
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.core.thresholds import ThresholdSchedule, select_ao
+from repro.core.tissue import align_tissues, calibrate_mts
+from repro.errors import CalibrationError
+from repro.gpu.specs import GPUSpec, TEGRA_X1
+from repro.nn.network import LSTMNetwork
+
+#: Quantile grid searched for the alpha_inter upper limit.
+_ALPHA_QUANTILES = np.linspace(0.02, 0.98, 33)
+
+#: Largest meaningful near-zero threshold for the output gate: at 0.5 the
+#: sigmoid midpoint itself would count as "near zero".
+DEFAULT_ALPHA_INTRA_MAX: float = 0.5
+
+
+@dataclass
+class OfflineCalibration:
+    """Everything the runtime needs, produced once per application."""
+
+    mts: int
+    alpha_inter_max: float
+    alpha_intra_max: float
+    predicted_links: list[PredictedLink]
+    relevance_samples: list[np.ndarray]
+
+    def schedule(self, count: int = 11) -> ThresholdSchedule:
+        """The Fig. 19 threshold schedule for this application.
+
+        ``alpha_intra`` steps linearly from 0 to its maximum;
+        ``alpha_inter`` steps through relevance-*quantile* space so that set
+        ``i`` breaks roughly ``i / (count - 1)`` of the links broken at the
+        upper limit (see :meth:`ThresholdSchedule.from_values`).
+        """
+        pooled = np.sort(np.concatenate(self.relevance_samples))
+        q_max = float(np.mean(pooled < self.alpha_inter_max))
+        inter_values = [0.0]
+        for i in range(1, count):
+            if i == count - 1:
+                inter_values.append(self.alpha_inter_max)
+            else:
+                # Quadratic spacing: the first sets should pick only the
+                # clearly weak links (the low tail of S), leaving fine
+                # resolution where the accuracy budget binds.
+                q = q_max * (i / (count - 1)) ** 2
+                inter_values.append(min(float(np.quantile(pooled, q)), self.alpha_inter_max))
+        # Quadratic spacing for alpha_intra: the near-zero mass of trained
+        # output gates sits at o ~ 0.01, so the interesting low end of the
+        # threshold needs finer steps than the top.
+        intra_values = [
+            self.alpha_intra_max * (i / (count - 1)) ** 2 for i in range(count)
+        ]
+        return ThresholdSchedule.from_values(inter_values, intra_values)
+
+
+def _mean_tissue_count(
+    relevance_samples: list[np.ndarray], alpha: float, mts: int
+) -> float:
+    """Average tissues per layer at a given threshold (plan-only, no numerics)."""
+    counts = []
+    for s in relevance_samples:
+        breaks = [int(t) for t in np.flatnonzero(s < alpha) if t >= 1]
+        sublayers = divide_layer(s.shape[0], breaks)
+        counts.append(len(align_tissues(sublayers, mts)))
+    return float(np.mean(counts))
+
+
+def find_alpha_inter_max(
+    relevance_samples: list[np.ndarray], mts: int, tolerance: float = 1.05
+) -> float:
+    """Fig. 10, step 2: the smallest threshold reaching ``N_min`` tissues.
+
+    Args:
+        relevance_samples: Per-(sequence, layer) relevance arrays ``S``.
+        mts: The calibrated maximum tissue size.
+        tolerance: Accept a tissue count within this factor of ``N_min``.
+
+    Returns:
+        The chosen ``alpha_inter`` upper limit. If even breaking every link
+        cannot reach ``N_min`` (short layers), returns the threshold with
+        the lowest achievable count.
+    """
+    if not relevance_samples:
+        raise CalibrationError("no relevance samples supplied")
+    n_min = float(np.mean([-(-s.shape[0] // mts) for s in relevance_samples]))
+    pooled = np.concatenate(relevance_samples)
+    candidates = np.unique(np.quantile(pooled, _ALPHA_QUANTILES))
+    best_alpha = float(candidates[-1]) * 1.001
+    best_count = _mean_tissue_count(relevance_samples, best_alpha, mts)
+    for alpha in candidates:
+        count = _mean_tissue_count(relevance_samples, float(alpha), mts)
+        if count <= n_min * tolerance:
+            return float(alpha)
+        if count < best_count:
+            best_count = count
+            best_alpha = float(alpha)
+    return best_alpha
+
+
+def collect_relevance_samples(
+    network: LSTMNetwork, tokens: np.ndarray, spec: GPUSpec = TEGRA_X1
+) -> list[np.ndarray]:
+    """Relevance arrays ``S`` for every (sequence, layer) of a calibration
+    batch, computed with an epsilon threshold (no links actually break)."""
+    probe = LSTMExecutor(
+        network,
+        ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=1e-300, spec=spec),
+    )
+    result = probe.run_batch(np.asarray(tokens))
+    samples = []
+    for plan in result.plans:
+        for record in plan.layers:
+            if record.relevance is not None:
+                samples.append(record.relevance)
+    if not samples:
+        raise CalibrationError("calibration run produced no relevance samples")
+    return samples
+
+
+def fit_predicted_links(
+    network: LSTMNetwork, tokens: np.ndarray, spec: GPUSpec = TEGRA_X1
+) -> list[PredictedLink]:
+    """Fig. 10, step 4: Eq. 6 link predictors from an exact calibration run."""
+    baseline = LSTMExecutor(
+        network, ExecutionConfig(mode=ExecutionMode.BASELINE, spec=spec)
+    )
+    result = baseline.run_batch(np.asarray(tokens), collect_states=True)
+    links = []
+    for hs, cs in zip(result.layer_outputs, result.layer_states):
+        predictor = ContextLinkPredictor(hs.shape[-1])
+        for b in range(hs.shape[0]):
+            predictor.observe(hs[b], cs[b])
+        links.append(predictor.fit())
+    return links
+
+
+def calibrate_offline(
+    network: LSTMNetwork,
+    tokens: np.ndarray,
+    spec: GPUSpec = TEGRA_X1,
+    mts: int | None = None,
+    alpha_intra_max: float = DEFAULT_ALPHA_INTRA_MAX,
+) -> OfflineCalibration:
+    """Run all offline operations (Fig. 10, steps 1-4) for one application."""
+    hidden = network.config.hidden_size
+    if mts is None:
+        # The MTS is a property of the GPU and the layer width, not of any
+        # particular sequence: probe with a fixed, amortization-friendly
+        # length so short applications do not bias the knee (Fig. 10 (1)).
+        mts = calibrate_mts(spec, hidden)
+    relevance_samples = collect_relevance_samples(network, tokens, spec)
+    alpha_max = find_alpha_inter_max(relevance_samples, mts)
+    links = fit_predicted_links(network, tokens, spec)
+    return OfflineCalibration(
+        mts=mts,
+        alpha_inter_max=alpha_max,
+        alpha_intra_max=alpha_intra_max,
+        predicted_links=links,
+        relevance_samples=relevance_samples,
+    )
+
+
+def accuracy_guided_index(
+    accuracies: np.ndarray, target_accuracy: float
+) -> int:
+    """Fig. 10, step 3: per-application threshold adjustment.
+
+    A thin, explicitly named wrapper over the AO selection — given the
+    measured accuracy per threshold set, choose the most aggressive set
+    still meeting the user-preferred accuracy.
+    """
+    return select_ao(accuracies, target_accuracy)

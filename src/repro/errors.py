@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+everything raised by this package with a single ``except`` clause while still
+being able to distinguish configuration mistakes from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid model, application, or simulator configuration."""
+
+
+class ShapeError(ConfigurationError):
+    """Tensor operands with incompatible shapes."""
+
+
+class PlanError(ReproError):
+    """An execution plan is internally inconsistent.
+
+    Raised, for example, when a tissue schedule violates a sub-layer data
+    dependency or exceeds the maximum tissue size.
+    """
+
+
+class SimulationError(ReproError):
+    """The GPU timing simulator was driven with an impossible workload."""
+
+
+class CalibrationError(ReproError):
+    """Offline calibration (MTS search, threshold tuning) failed to converge."""

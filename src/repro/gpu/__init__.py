@@ -1,0 +1,48 @@
+"""Mobile-GPU timing and energy simulator.
+
+This subpackage stands in for the paper's Jetson TX1 measurements. It is an
+analytical, mechanistic model: every kernel is described by the work it does
+(flops, DRAM bytes, on-chip bytes, thread count, divergence/gather factors)
+and the simulator derives execution time from the three rooflines of the
+platform (compute, off-chip bandwidth, shared-memory bandwidth) plus launch
+overhead and L2 reuse across kernels. Energy combines static power over
+time with per-unit-of-work dynamic energies. See ``DESIGN.md`` §2 for why
+this substitution preserves the paper's phenomena.
+"""
+
+from repro.gpu.specs import GPUSpec, TEGRA_X1, TESLA_M40
+from repro.gpu.kernels import (
+    KernelLaunch,
+    drs_kernel,
+    elementwise_kernel,
+    relevance_kernel,
+    sgemm_kernel,
+    sgemv_kernel,
+)
+from repro.gpu.memory import L2Model
+from repro.gpu.cta import pruned_spmv_penalties, software_drs_penalties
+from repro.gpu.crm import CRMReorganization, reorganize_ctas
+from repro.gpu.energy import EnergyBreakdown, EnergyModel
+from repro.gpu.simulator import TimingSimulator
+from repro.gpu.trace import KernelStats, TraceSummary
+
+__all__ = [
+    "CRMReorganization",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "GPUSpec",
+    "KernelLaunch",
+    "KernelStats",
+    "L2Model",
+    "TEGRA_X1",
+    "TESLA_M40",
+    "TimingSimulator",
+    "TraceSummary",
+    "drs_kernel",
+    "elementwise_kernel",
+    "pruned_spmv_penalties",
+    "relevance_kernel",
+    "reorganize_ctas",
+    "sgemm_kernel",
+    "sgemv_kernel",
+]

@@ -1,0 +1,77 @@
+"""Whole-system energy model.
+
+The paper measures board-level energy on the Jetson TX1 ("the obtained
+energy result describes the energy consumption of the overall system
+including CPU, GPU, etc."). The model therefore combines:
+
+* **static energy** — board static power integrated over execution time
+  (this is why speedups alone save substantial energy);
+* **work energy** — effective per-flop, per-DRAM-byte and per-on-chip-byte
+  energies (this is why moving fewer bytes saves energy at equal time);
+* **launch energy** — host CPU + driver energy per kernel launch (this is
+  why the intra-cell flow, which multiplies the launch count, saves less
+  energy than its speedup suggests — the Fig. 14 asymmetry);
+* **CRM energy** — the <1 % overhead of the reorganization hardware when
+  hardware DRS is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+from repro.gpu.trace import KernelStats
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy components of one kernel (J)."""
+
+    static: float
+    compute: float
+    dram: float
+    onchip: float
+    launch: float
+    crm: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.static + self.compute + self.dram + self.onchip + self.launch + self.crm
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary form for aggregation."""
+        return {
+            "static": self.static,
+            "compute": self.compute,
+            "dram": self.dram,
+            "onchip": self.onchip,
+            "launch": self.launch,
+            "crm": self.crm,
+        }
+
+
+class EnergyModel:
+    """Computes :class:`EnergyBreakdown` for simulated kernels."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self._spec = spec
+
+    def kernel_energy(self, stats: KernelStats, uses_crm: bool = False) -> EnergyBreakdown:
+        """Energy of one kernel given its simulated timing and traffic."""
+        spec = self._spec
+        static = spec.static_power * stats.time
+        compute = spec.energy_per_flop * stats.flops
+        dram = spec.energy_per_dram_byte * stats.dram_bytes
+        onchip = spec.energy_per_onchip_byte * stats.onchip_bytes
+        launch = spec.launch_energy
+        crm = (static + compute + dram + onchip) * spec.crm_power_overhead if uses_crm else 0.0
+        return EnergyBreakdown(
+            static=static, compute=compute, dram=dram, onchip=onchip, launch=launch, crm=crm
+        )
+
+    def annotate(self, stats: KernelStats, uses_crm: bool = False) -> None:
+        """Fill ``stats.energy`` / ``stats.energy_parts`` in place."""
+        breakdown = self.kernel_energy(stats, uses_crm=uses_crm)
+        stats.energy = breakdown.total
+        stats.energy_parts = breakdown.as_dict()

@@ -1,0 +1,215 @@
+"""Kernel workload descriptors.
+
+A :class:`KernelLaunch` captures everything the analytical simulator needs
+to time one GPU kernel: the useful work (flops), the off-chip traffic it
+*must* generate assuming perfect intra-kernel reuse (compulsory reads and
+writes — inter-kernel reuse is the L2 model's job), the shared-memory
+traffic, the thread geometry, and two efficiency factors that model branch
+divergence and irregular (gather) memory access.
+
+Builders are provided for the four kernel families of Algorithms 1 and 3:
+``Sgemm`` / ``Sgemv``, the elementwise ``lstm_ew`` kernel, the ``DRS``
+thresholding kernel, and the relevance/breakpoint-search kernel the
+inter-cell runtime adds (Fig. 10, step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Bytes per fp32 element — the precision of all evaluated kernels.
+FP32 = 4
+
+
+@dataclass
+class KernelLaunch:
+    """One GPU kernel launch, described by the work it performs.
+
+    Attributes:
+        name: Kernel family name (``sgemv``, ``sgemm``, ``lstm_ew``, ...).
+        flops: Useful floating-point operations.
+        weight_bytes: Compulsory reads of *weight* data — eligible for
+            inter-kernel L2 residency (tracked per ``weight_id``).
+        stream_read_bytes: Compulsory reads of streaming data (activations,
+            vectors) — assumed never L2-resident across kernels.
+        write_bytes: Bytes written back to DRAM.
+        onchip_bytes: Shared-memory traffic.
+        threads: Launched thread count (before any CRM compaction).
+        warp_efficiency: Fraction of lanes doing useful work (1.0 = no
+            divergence). Compute time scales with its inverse.
+        gather_efficiency: Fraction of peak DRAM bandwidth achievable given
+            the kernel's access pattern (1.0 = fully coalesced streaming).
+        weight_id: Identity of the weight tensor read by this kernel, used
+            by the L2 model to detect back-to-back reuse. ``None`` when the
+            kernel reads no persistent weights.
+        uses_crm: Whether the launch goes through the CTA-reorganization
+            module (hardware DRS).
+        tag: Free-form label (layer index, phase) used for aggregation.
+    """
+
+    name: str
+    flops: float
+    weight_bytes: float = 0.0
+    stream_read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    onchip_bytes: float = 0.0
+    threads: int = 1
+    warp_efficiency: float = 1.0
+    gather_efficiency: float = 1.0
+    weight_id: str | None = None
+    uses_crm: bool = False
+    tag: str = ""
+    sync_intensity: float = 0.02
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.weight_bytes < 0 or self.stream_read_bytes < 0:
+            raise ConfigurationError("kernel work quantities must be non-negative")
+        if not 0 < self.warp_efficiency <= 1:
+            raise ConfigurationError(f"warp_efficiency must be in (0, 1], got {self.warp_efficiency}")
+        if not 0 < self.gather_efficiency <= 1:
+            raise ConfigurationError(
+                f"gather_efficiency must be in (0, 1], got {self.gather_efficiency}"
+            )
+        if self.threads < 1:
+            raise ConfigurationError("threads must be at least 1")
+
+    @property
+    def dram_read_bytes(self) -> float:
+        """All compulsory DRAM reads (weights + streams)."""
+        return self.weight_bytes + self.stream_read_bytes
+
+
+def sgemv_kernel(
+    rows: int,
+    cols: int,
+    onchip_per_flop: float,
+    weight_id: str | None = None,
+    warp_efficiency: float = 1.0,
+    gather_efficiency: float = 1.0,
+    weight_bytes: float | None = None,
+    uses_crm: bool = False,
+    tag: str = "",
+) -> KernelLaunch:
+    """Matrix-vector multiplication ``y = M @ x`` with ``M`` of ``rows x cols``.
+
+    ``weight_bytes`` may be overridden to model row skipping (only the kept
+    rows are streamed); flops are derived from the same effective row count.
+    """
+    full_weight = rows * cols * FP32
+    if weight_bytes is None:
+        weight_bytes = full_weight
+    effective_rows = weight_bytes / (cols * FP32)
+    return KernelLaunch(
+        name="sgemv",
+        flops=2.0 * effective_rows * cols,
+        weight_bytes=weight_bytes,
+        stream_read_bytes=cols * FP32,
+        write_bytes=effective_rows * FP32,
+        # The input vector is staged in shared memory and re-read per row.
+        onchip_bytes=2.0 * effective_rows * cols * onchip_per_flop * 0.5,
+        threads=max(1, rows),
+        warp_efficiency=warp_efficiency,
+        gather_efficiency=gather_efficiency,
+        weight_id=weight_id,
+        uses_crm=uses_crm,
+        tag=tag,
+    )
+
+
+def sgemm_kernel(
+    rows: int,
+    cols: int,
+    batch: int,
+    onchip_per_flop: float,
+    weight_id: str | None = None,
+    warp_efficiency: float = 1.0,
+    gather_efficiency: float = 1.0,
+    weight_bytes: float | None = None,
+    uses_crm: bool = False,
+    tag: str = "",
+) -> KernelLaunch:
+    """Matrix-matrix multiplication ``Y = M @ X`` with ``X`` of ``cols x batch``.
+
+    This is both the per-layer ``Sgemm(W, x)`` (batch = sequence length) and
+    the per-tissue ``Sgemm(U, H_t)`` (batch = tissue size).
+    """
+    if batch < 1:
+        raise ConfigurationError(f"sgemm batch must be >= 1, got {batch}")
+    full_weight = rows * cols * FP32
+    if weight_bytes is None:
+        weight_bytes = full_weight
+    effective_rows = weight_bytes / (cols * FP32)
+    flops = 2.0 * effective_rows * cols * batch
+    return KernelLaunch(
+        name="sgemm",
+        flops=flops,
+        weight_bytes=weight_bytes,
+        stream_read_bytes=cols * batch * FP32,
+        write_bytes=effective_rows * batch * FP32,
+        onchip_bytes=flops * onchip_per_flop,
+        threads=max(1, rows * batch),
+        warp_efficiency=warp_efficiency,
+        gather_efficiency=gather_efficiency,
+        weight_id=weight_id,
+        uses_crm=uses_crm,
+        tag=tag,
+    )
+
+
+def elementwise_kernel(hidden: int, batch: int = 1, gates: int = 4, tag: str = "") -> KernelLaunch:
+    """The ``lstm_ew`` kernel: per-element gate activations and state update.
+
+    Reads the pre-activations and previous state, writes ``c_t`` and ``h_t``.
+    Roughly 5 ops per gate per element (bias add plus a fast-path
+    transcendental) and 6 ops of state update.
+    """
+    elems = hidden * batch
+    return KernelLaunch(
+        name="lstm_ew",
+        flops=elems * (5.0 * max(1, gates) + 6.0),
+        stream_read_bytes=(gates + 2) * elems * FP32,
+        write_bytes=2.0 * elems * FP32,
+        onchip_bytes=0.0,
+        threads=max(1, elems),
+        tag=tag,
+    )
+
+
+def drs_kernel(hidden: int, batch: int = 1, tag: str = "") -> KernelLaunch:
+    """The ``DRS(o_t, alpha_intra, R)`` thresholding kernel of Algorithm 3.
+
+    Compares every ``o_t`` element against the near-zero threshold and emits
+    the trivial-row ID list ``R`` (compaction via a prefix sum).
+    """
+    elems = hidden * batch
+    return KernelLaunch(
+        name="drs",
+        flops=6.0 * elems,
+        stream_read_bytes=elems * FP32,
+        write_bytes=elems * FP32 / 2.0,
+        threads=max(1, elems),
+        tag=tag,
+    )
+
+
+def relevance_kernel(hidden: int, seq_length: int, tag: str = "") -> KernelLaunch:
+    """The runtime breakpoint-search kernel of the inter-cell optimization.
+
+    Implements Algorithm 2 over all links of one layer: per element it
+    computes the clipped range overlaps and reduces them to the per-link
+    relevance value ``S``. The row norms ``D`` are computed offline once per
+    application, so the runtime kernel only streams ``X' = W x_t`` and the
+    biases.
+    """
+    elems = hidden * max(1, seq_length)
+    return KernelLaunch(
+        name="relevance",
+        flops=24.0 * elems * 4,
+        stream_read_bytes=4 * elems * FP32 + 8 * hidden * FP32,
+        write_bytes=max(1, seq_length) * FP32,
+        threads=max(1, elems),
+        tag=tag,
+    )

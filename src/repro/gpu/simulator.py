@@ -1,0 +1,158 @@
+"""Analytical timing simulator for mobile-GPU kernel sequences.
+
+Each kernel's execution time is the maximum of three roofline times —
+compute, off-chip DRAM, and on-chip shared memory — plus launch overhead:
+
+* ``t_compute = flops / (peak_flops * warp_efficiency * occupancy)``
+* ``t_dram    = effective_dram_bytes / (bandwidth * gather_efficiency)``
+* ``t_onchip  = onchip_bytes / shared_bandwidth`` (with a re-configuration
+  penalty when the shared-memory roof binds, reproducing the Fig. 9 droop
+  past the maximum tissue size)
+
+Effective DRAM bytes are computed by the :class:`~repro.gpu.memory.L2Model`
+so that weight tensors re-used across back-to-back kernels stop paying for
+re-loads once they fit in the L2 — the mechanism whose *absence* for
+mobile-sized LSTMs causes the paper's inter-cell bottleneck.
+
+The simulator also attributes pipeline stall cycles to the Fig. 4
+categories and annotates energy via :class:`~repro.gpu.energy.EnergyModel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SimulationError
+from repro.gpu.energy import EnergyModel
+from repro.gpu.kernels import KernelLaunch
+from repro.gpu.memory import L2Model
+from repro.gpu.specs import GPUSpec, TEGRA_X1
+from repro.gpu.trace import KernelStats, TraceSummary
+
+#: Thread oversubscription needed to hide pipeline latency at full throughput.
+LATENCY_HIDING_FACTOR: float = 4.0
+
+#: Floor on the occupancy-derived throughput fraction (tiny kernels still
+#: make some progress every cycle).
+MIN_OCCUPANCY: float = 0.05
+
+#: Share of execution attributed to instruction-fetch/dependency stalls.
+OTHER_STALL_FRACTION: float = 0.05
+
+#: Share of execution attributed to on-chip (shared/L2) stalls when the
+#: kernel is not on-chip bound.
+BACKGROUND_ONCHIP_STALL: float = 0.02
+
+
+class TimingSimulator:
+    """Times kernel sequences on a :class:`~repro.gpu.specs.GPUSpec`."""
+
+    def __init__(self, spec: GPUSpec = TEGRA_X1) -> None:
+        self.spec = spec
+        self._l2 = L2Model(spec)
+        self._energy = EnergyModel(spec)
+
+    def reset(self) -> None:
+        """Cold-start the memory hierarchy (call between executions)."""
+        self._l2.reset()
+
+    def run_kernel(self, kernel: KernelLaunch) -> KernelStats:
+        """Simulate one launch and return its stats (energy annotated)."""
+        spec = self.spec
+
+        weight_traffic = self._l2.weight_traffic(kernel.weight_id, kernel.weight_bytes)
+        streaming = kernel.stream_read_bytes + kernel.write_bytes
+        self._l2.account_streaming(streaming)
+        dram_bytes = weight_traffic + streaming
+        compulsory = kernel.dram_read_bytes + kernel.write_bytes
+
+        occupancy = self._occupancy(kernel.threads)
+        throughput = spec.peak_flops * kernel.warp_efficiency * occupancy
+        t_compute = kernel.flops / throughput if kernel.flops else 0.0
+
+        bandwidth = spec.effective_dram_bandwidth * kernel.gather_efficiency
+        t_dram = dram_bytes / bandwidth if dram_bytes else 0.0
+
+        t_onchip = kernel.onchip_bytes / spec.shared_bandwidth if kernel.onchip_bytes else 0.0
+
+        exec_time = max(t_compute, t_dram, t_onchip)
+        if t_onchip >= exec_time and t_onchip > 0.0:
+            # Shared-memory bound: the compiler re-configures the kernel to
+            # keep per-thread on-chip demand below the roof, trading threads
+            # for time (Fig. 9's post-MTS droop).
+            slack = t_onchip - max(t_compute, t_dram)
+            exec_time = t_onchip + spec.reconfig_penalty * slack
+
+        if kernel.uses_crm:
+            exec_time *= 1.0 + spec.crm_time_overhead
+
+        time = exec_time + spec.kernel_launch_overhead_s
+        stats = KernelStats(
+            name=kernel.name,
+            tag=kernel.tag,
+            time=time,
+            exec_time=exec_time,
+            t_compute=t_compute,
+            t_dram=t_dram,
+            t_onchip=t_onchip,
+            dram_bytes=dram_bytes,
+            compulsory_bytes=compulsory,
+            onchip_bytes=kernel.onchip_bytes,
+            flops=kernel.flops,
+            stall_cycles=self._stall_attribution(
+                kernel, exec_time, t_compute, t_dram, t_onchip
+            ),
+        )
+        self._energy.annotate(stats, uses_crm=kernel.uses_crm)
+        return stats
+
+    def run_trace(
+        self, kernels: Iterable[KernelLaunch], cold_start: bool = True
+    ) -> TraceSummary:
+        """Simulate a kernel sequence in order.
+
+        Args:
+            kernels: The launches, in execution order (mobile GPUs serialize
+                kernels, Section II-C).
+            cold_start: Reset the L2 residency state first.
+        """
+        if cold_start:
+            self.reset()
+        stats = [self.run_kernel(k) for k in kernels]
+        if not stats:
+            raise SimulationError("cannot simulate an empty kernel trace")
+        return TraceSummary(kernels=stats)
+
+    def _occupancy(self, threads: int) -> float:
+        full = self.spec.num_sms * self.spec.cores_per_sm * LATENCY_HIDING_FACTOR
+        return max(MIN_OCCUPANCY, min(1.0, threads / full))
+
+    def _stall_attribution(
+        self,
+        kernel: KernelLaunch,
+        exec_time: float,
+        t_compute: float,
+        t_dram: float,
+        t_onchip: float,
+    ) -> dict[str, float]:
+        """Attribute pipeline stall cycles (Fig. 4 categories).
+
+        While the kernel waits at a bandwidth roof, the compute pipeline is
+        stalled; the dominant roof claims the gap above the compute time.
+        Barrier synchronization scales with the compute phase (one barrier
+        per tile pass), and a small background share covers fetch/dependency
+        stalls.
+        """
+        clock = self.spec.clock_hz
+        off_chip = max(0.0, min(t_dram, exec_time) - t_compute)
+        on_chip = max(0.0, t_onchip - max(t_dram, t_compute))
+        if on_chip == 0.0:
+            on_chip = BACKGROUND_ONCHIP_STALL * exec_time
+        sync = kernel.sync_intensity * t_compute + 0.01 * exec_time
+        other = OTHER_STALL_FRACTION * exec_time
+        return {
+            "off_chip_memory": off_chip * clock,
+            "on_chip_memory": on_chip * clock,
+            "synchronization": sync * clock,
+            "other": other * clock,
+        }

@@ -1,0 +1,164 @@
+"""GPU platform specifications (paper Table I and Section II-C).
+
+``TEGRA_X1`` reproduces Table I: a Maxwell mobile GPU with 256 cores at
+998 MHz and 25.6 GB/s of LPDDR4 bandwidth. ``TESLA_M40`` is the large-GPU
+reference of Section II-C used by the ablation that shows layer-level
+parallelism makes the inter-cell problem moot when on-chip storage is large.
+
+Energy constants are *effective system-level* energies per unit of work —
+they fold instruction, register-file, and wire energy into the per-flop
+number, and DRAM interface plus controller energy into the per-byte number,
+which is the level the paper measures at (whole-board energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU platform for the analytical simulator.
+
+    Attributes:
+        name: Human-readable platform name.
+        num_sms: Number of streaming multiprocessors.
+        cores_per_sm: FP32 lanes per SM.
+        clock_hz: Core clock.
+        dram_bandwidth: Peak off-chip bandwidth in bytes/s.
+        dram_efficiency: Achievable fraction of peak for well-coalesced
+            streaming access.
+        l2_bytes: Last-level on-chip cache capacity.
+        l2_residency_efficiency: Fraction of the L2 usable for inter-kernel
+            weight residency (the rest is churned by streaming data).
+        shared_bw_bytes_per_cycle_per_sm: Shared-memory bandwidth per SM.
+        shared_mem_per_sm: Shared-memory capacity per SM (bytes).
+        warp_size: Threads per warp.
+        kernel_launch_overhead_s: Host+driver latency per kernel launch.
+        onchip_bytes_per_flop: Shared-memory traffic generated per flop by
+            the tiled GEMM/GEMV kernels (the knob behind the Fig. 9 MTS
+            knee); mildly inflated for large tiles via
+            ``onchip_tile_pressure``.
+        onchip_tile_pressure: Extra shared traffic per flop per 4096 hidden
+            units (bank-conflict / tile-padding pressure).
+        reconfig_penalty: Slowdown per unit of shared-memory oversubscription
+            when a kernel must be re-configured at compile time (Fig. 9's
+            post-MTS droop).
+        energy_per_flop: Effective SM energy per flop (J).
+        energy_per_dram_byte: Effective DRAM system energy per byte (J).
+        energy_per_onchip_byte: Shared-memory/L2 energy per byte (J).
+        static_power: GPU + board static power while the GPU is busy (W).
+        launch_energy: Host-side (CPU + driver) energy per kernel launch (J).
+        crm_time_overhead: Fractional kernel-time overhead of the CTA
+            reorganization module when hardware DRS is active (the paper's
+            gate-level result: 1.47 %).
+        crm_power_overhead: Fractional energy overhead of the CRM (<1 %).
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    dram_bandwidth: float
+    dram_efficiency: float
+    l2_bytes: int
+    l2_residency_efficiency: float
+    shared_bw_bytes_per_cycle_per_sm: float
+    shared_mem_per_sm: int
+    warp_size: int
+    kernel_launch_overhead_s: float
+    onchip_bytes_per_flop: float
+    onchip_tile_pressure: float
+    reconfig_penalty: float
+    energy_per_flop: float
+    energy_per_dram_byte: float
+    energy_per_onchip_byte: float
+    static_power: float
+    launch_energy: float
+    crm_time_overhead: float
+    crm_power_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ConfigurationError("SM geometry must be positive")
+        if self.clock_hz <= 0 or self.dram_bandwidth <= 0:
+            raise ConfigurationError("clock and bandwidth must be positive")
+        if not 0 < self.dram_efficiency <= 1:
+            raise ConfigurationError("dram_efficiency must be in (0, 1]")
+        if not 0 <= self.l2_residency_efficiency <= 1:
+            raise ConfigurationError("l2_residency_efficiency must be in [0, 1]")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput (FMA counted as 2 flops), flop/s."""
+        return 2.0 * self.num_sms * self.cores_per_sm * self.clock_hz
+
+    @property
+    def effective_dram_bandwidth(self) -> float:
+        """Achievable streaming bandwidth, bytes/s."""
+        return self.dram_bandwidth * self.dram_efficiency
+
+    @property
+    def shared_bandwidth(self) -> float:
+        """Aggregate shared-memory bandwidth, bytes/s."""
+        return self.num_sms * self.shared_bw_bytes_per_cycle_per_sm * self.clock_hz
+
+    def onchip_traffic_per_flop(self, hidden_size: int) -> float:
+        """Shared-memory bytes generated per flop for a given tile width."""
+        return self.onchip_bytes_per_flop * (1.0 + self.onchip_tile_pressure * hidden_size / 4096.0)
+
+
+#: Table I — the Jetson TX1 platform (Maxwell, 256 cores, 998 MHz, LPDDR4).
+TEGRA_X1 = GPUSpec(
+    name="Tegra X1 (Jetson TX1)",
+    num_sms=2,
+    cores_per_sm=128,
+    clock_hz=998e6,
+    dram_bandwidth=25.6e9,
+    dram_efficiency=0.80,
+    l2_bytes=256 * 1024,
+    l2_residency_efficiency=0.75,
+    shared_bw_bytes_per_cycle_per_sm=128.0,
+    shared_mem_per_sm=64 * 1024,
+    warp_size=32,
+    kernel_launch_overhead_s=1.5e-6,
+    onchip_bytes_per_flop=4.0,
+    onchip_tile_pressure=0.9,
+    reconfig_penalty=1.5,
+    energy_per_flop=1.2e-10,
+    energy_per_dram_byte=2.5e-10,
+    energy_per_onchip_byte=1.0e-11,
+    static_power=3.5,
+    launch_energy=3.0e-5,
+    crm_time_overhead=0.0147,
+    crm_power_overhead=0.009,
+)
+
+#: Section II-C — the large datacenter GPU where layer-level parallelism is
+#: feasible (3072 cores, GDDR5, 6 MB L2).
+TESLA_M40 = GPUSpec(
+    name="Tesla M40",
+    num_sms=24,
+    cores_per_sm=128,
+    clock_hz=1.114e9,
+    dram_bandwidth=288e9,
+    dram_efficiency=0.80,
+    l2_bytes=6 * 1024 * 1024,
+    l2_residency_efficiency=0.75,
+    shared_bw_bytes_per_cycle_per_sm=128.0,
+    shared_mem_per_sm=96 * 1024,
+    warp_size=32,
+    kernel_launch_overhead_s=1.2e-6,
+    onchip_bytes_per_flop=4.0,
+    onchip_tile_pressure=0.9,
+    reconfig_penalty=1.5,
+    energy_per_flop=9.0e-11,
+    energy_per_dram_byte=1.6e-10,
+    energy_per_onchip_byte=8.0e-12,
+    static_power=55.0,
+    launch_energy=2.0e-5,
+    crm_time_overhead=0.0147,
+    crm_power_overhead=0.009,
+)

@@ -1,0 +1,174 @@
+"""Gated Recurrent Unit (GRU) extension.
+
+Section II-B notes the proposed methods "can also be applied to GRUs with
+simple adjustment". This module provides that adjustment surface: a GRU cell
+and layer with the same interface shape as the LSTM ones, including support
+for skipping trivial rows of the candidate/reset matrices (the GRU analogue
+of DRS, gated by the update gate ``z_t``).
+
+GRU equations::
+
+    z_t = sigma(W_z x_t + U_z h_{t-1} + b_z)          (update gate)
+    r_t = sigma(W_r x_t + U_r h_{t-1} + b_r)          (reset gate)
+    n_t = tanh(W_n x_t + U_n (r_t * h_{t-1}) + b_n)   (candidate)
+    h_t = (1 - z_t) * h_{t-1} + z_t * n_t
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.initializers import WeightInitializer
+
+#: Gate order for the united GRU matrices.
+GRU_GATE_ORDER: tuple[str, ...] = ("z", "r", "n")
+
+
+@dataclass
+class GRUCellWeights:
+    """Weights of one GRU layer's cell."""
+
+    w_z: np.ndarray
+    w_r: np.ndarray
+    w_n: np.ndarray
+    u_z: np.ndarray
+    u_r: np.ndarray
+    u_n: np.ndarray
+    b_z: np.ndarray
+    b_r: np.ndarray
+    b_n: np.ndarray
+
+    def __post_init__(self) -> None:
+        hidden = self.u_z.shape[0]
+        for name in ("u_z", "u_r", "u_n"):
+            mat = getattr(self, name)
+            if mat.shape != (hidden, hidden):
+                raise ShapeError(f"{name} must be ({hidden}, {hidden}), got {mat.shape}")
+        input_size = self.w_z.shape[1]
+        for name in ("w_z", "w_r", "w_n"):
+            mat = getattr(self, name)
+            if mat.shape != (hidden, input_size):
+                raise ShapeError(f"{name} must be ({hidden}, {input_size}), got {mat.shape}")
+        for name in ("b_z", "b_r", "b_n"):
+            vec = getattr(self, name)
+            if vec.shape != (hidden,):
+                raise ShapeError(f"{name} must be ({hidden},), got {vec.shape}")
+
+    @property
+    def hidden_size(self) -> int:
+        """Number of hidden units ``H``."""
+        return self.u_z.shape[0]
+
+    @property
+    def input_size(self) -> int:
+        """Width of the layer input."""
+        return self.w_z.shape[1]
+
+    @classmethod
+    def initialize(
+        cls, hidden_size: int, input_size: int, init: WeightInitializer
+    ) -> "GRUCellWeights":
+        """Create freshly initialized GRU weights."""
+        return cls(
+            w_z=init.xavier_uniform(hidden_size, input_size),
+            w_r=init.xavier_uniform(hidden_size, input_size),
+            w_n=init.xavier_uniform(hidden_size, input_size),
+            u_z=init.orthogonal(hidden_size, hidden_size),
+            u_r=init.orthogonal(hidden_size, hidden_size),
+            u_n=init.orthogonal(hidden_size, hidden_size),
+            b_z=init.bias(hidden_size),
+            b_r=init.bias(hidden_size),
+            b_n=init.bias(hidden_size),
+        )
+
+
+def gru_cell_step(
+    weights: GRUCellWeights,
+    x_t: np.ndarray,
+    h_prev: np.ndarray,
+    skip_rows: np.ndarray | None = None,
+    sigmoid_fn: Callable[[np.ndarray], np.ndarray] = sigmoid,
+) -> np.ndarray:
+    """Advance one GRU cell by one timestep.
+
+    ``skip_rows`` marks rows of ``U_r`` / ``U_n`` whose update-gate element
+    is near *zero* — for those elements ``h_t ~= h_{t-1}`` regardless of the
+    candidate, so the candidate computation can be skipped (the GRU analogue
+    of the paper's DRS, with ``z_t`` playing the role of ``o_t``).
+    """
+    x_t = np.asarray(x_t, dtype=np.float64)
+    h_prev = np.asarray(h_prev, dtype=np.float64)
+    z = sigmoid_fn(x_t @ weights.w_z.T + h_prev @ weights.u_z.T + weights.b_z)
+
+    if skip_rows is None:
+        r = sigmoid_fn(x_t @ weights.w_r.T + h_prev @ weights.u_r.T + weights.b_r)
+        n = tanh(x_t @ weights.w_n.T + (r * h_prev) @ weights.u_n.T + weights.b_n)
+        return (1.0 - z) * h_prev + z * n
+
+    skip_rows = np.asarray(skip_rows, dtype=bool)
+    if skip_rows.shape != (weights.hidden_size,):
+        raise ShapeError(f"skip_rows must be ({weights.hidden_size},), got {skip_rows.shape}")
+    keep = ~skip_rows
+    r = np.zeros_like(z)
+    n = np.zeros_like(z)
+    if np.any(keep):
+        r_kept = sigmoid_fn(
+            x_t @ weights.w_r[keep].T + h_prev @ weights.u_r[keep].T + weights.b_r[keep]
+        )
+        r[..., keep] = r_kept
+        full_r = np.zeros_like(z)
+        full_r[..., keep] = r_kept
+        n_kept = tanh(
+            x_t @ weights.w_n[keep].T
+            + (full_r * h_prev) @ weights.u_n[keep].T
+            + weights.b_n[keep]
+        )
+        n[..., keep] = n_kept
+    # Skipped elements keep the previous hidden value (z ~= 0 there).
+    return np.where(keep, (1.0 - z) * h_prev + z * n, h_prev)
+
+
+class GRULayer:
+    """An unrolled GRU layer mirroring :class:`~repro.nn.lstm_layer.LSTMLayer`."""
+
+    def __init__(
+        self,
+        weights: GRUCellWeights,
+        sigmoid_fn: Callable[[np.ndarray], np.ndarray] = sigmoid,
+    ) -> None:
+        self.weights = weights
+        self.sigmoid_fn = sigmoid_fn
+
+    @property
+    def hidden_size(self) -> int:
+        """Number of hidden units ``H``."""
+        return self.weights.hidden_size
+
+    @property
+    def input_size(self) -> int:
+        """Width of the per-timestep input vector."""
+        return self.weights.input_size
+
+    @classmethod
+    def create(
+        cls, hidden_size: int, input_size: int, init: WeightInitializer
+    ) -> "GRULayer":
+        """Build a layer with freshly initialized weights."""
+        return cls(GRUCellWeights.initialize(hidden_size, input_size, init))
+
+    def forward(self, xs: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
+        """Exact sequential execution; returns hidden outputs ``(T, H)``."""
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim != 2 or xs.shape[1] != self.input_size:
+            raise ShapeError(f"layer expects (T, {self.input_size}) inputs, got {xs.shape}")
+        h = h0 if h0 is not None else np.zeros(self.hidden_size)
+        out = np.empty((xs.shape[0], self.hidden_size))
+        for t in range(xs.shape[0]):
+            h = gru_cell_step(self.weights, xs[t], h, sigmoid_fn=self.sigmoid_fn)
+            out[t] = h
+        return out

@@ -1,0 +1,70 @@
+"""Seeded weight initializers for the from-scratch network stack.
+
+Every initializer is a method on :class:`WeightInitializer`, which wraps a
+``numpy.random.Generator`` so that model construction is fully reproducible
+from a single integer seed — a requirement for the agreement-accuracy
+methodology (the exact and approximated networks must share weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class WeightInitializer:
+    """Factory for reproducible weight tensors.
+
+    Args:
+        seed: Seed for the underlying PCG64 generator.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying generator (exposed for dataset builders)."""
+        return self._rng
+
+    def xavier_uniform(self, rows: int, cols: int, gain: float = 1.0) -> np.ndarray:
+        """Glorot/Xavier uniform initialization for dense matrices."""
+        _check_shape(rows, cols)
+        limit = gain * np.sqrt(6.0 / (rows + cols))
+        return self._rng.uniform(-limit, limit, size=(rows, cols))
+
+    def orthogonal(self, rows: int, cols: int, gain: float = 1.0) -> np.ndarray:
+        """Orthogonal initialization — the standard choice for recurrent
+        matrices because it preserves activation norms across timesteps."""
+        _check_shape(rows, cols)
+        flat = self._rng.normal(size=(max(rows, cols), min(rows, cols)))
+        q, r = np.linalg.qr(flat)
+        # Sign correction makes the decomposition unique and the draw unbiased.
+        q *= np.sign(np.diag(r))
+        if rows < cols:
+            q = q.T
+        return gain * q[:rows, :cols]
+
+    def normal(self, rows: int, cols: int, std: float = 0.1) -> np.ndarray:
+        """Plain Gaussian initialization."""
+        _check_shape(rows, cols)
+        return self._rng.normal(0.0, std, size=(rows, cols))
+
+    def bias(self, size: int, value: float = 0.0, jitter: float = 0.0) -> np.ndarray:
+        """Bias vector with optional Gaussian jitter around ``value``.
+
+        Trained LSTM biases are not exactly constant; the jitter models the
+        spread observed after training (used by the model zoo).
+        """
+        if size <= 0:
+            raise ConfigurationError(f"bias size must be positive, got {size}")
+        base = np.full(size, float(value))
+        if jitter > 0.0:
+            base += self._rng.normal(0.0, jitter, size=size)
+        return base
+
+
+def _check_shape(rows: int, cols: int) -> None:
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError(f"matrix shape must be positive, got ({rows}, {cols})")

@@ -1,0 +1,291 @@
+"""LSTM cell mathematics (paper Eq. 1-5).
+
+One cell maps ``(x_t, h_{t-1}, c_{t-1})`` to ``(h_t, c_t)`` through three
+gates::
+
+    f_t = sigma(W_f x_t + U_f h_{t-1} + b_f)                   (Eq. 1)
+    i_t = sigma(W_i x_t + U_i h_{t-1} + b_i)                   (Eq. 2)
+    c_t = f_t * c_{t-1} + i_t * tanh(W_c x_t + U_c h_{t-1} + b_c)  (Eq. 3)
+    o_t = sigma(W_o x_t + U_o h_{t-1} + b_o)                   (Eq. 4)
+    h_t = o_t * tanh(c_t)                                      (Eq. 5)
+
+The module also implements the *dynamic row skip* semantics of Section V-A:
+given a boolean mask of trivial rows (rows of ``U_{f,i,c}`` whose matching
+``o_t`` element is near zero), the skipped rows are neither loaded nor
+computed, and the corresponding ``c_t`` elements are approximated to zero —
+exactly the paper's approximation.
+
+All functions accept either single vectors (shape ``(H,)``) or batches
+(shape ``(B, H)``); the gate order used throughout the package for the
+united matrices is ``(f, i, c, o)``, matching the paper's subscripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.initializers import WeightInitializer
+
+#: Canonical gate order for the united matrices ``W_{f,i,c,o}`` / ``U_{f,i,c,o}``.
+GATE_ORDER: tuple[str, ...] = ("f", "i", "c", "o")
+
+
+@dataclass
+class LSTMCellWeights:
+    """Weights of one LSTM layer's cell.
+
+    The per-gate matrices are stored separately (``w_f .. b_o``) because the
+    optimizations treat them differently — DRS skips rows of ``U_f, U_i,
+    U_c`` but never ``U_o`` — while :meth:`united_u` / :meth:`united_w`
+    expose the concatenated forms the GPU kernels operate on.
+    """
+
+    w_f: np.ndarray
+    w_i: np.ndarray
+    w_c: np.ndarray
+    w_o: np.ndarray
+    u_f: np.ndarray
+    u_i: np.ndarray
+    u_c: np.ndarray
+    u_o: np.ndarray
+    b_f: np.ndarray
+    b_i: np.ndarray
+    b_c: np.ndarray
+    b_o: np.ndarray
+
+    def __post_init__(self) -> None:
+        hidden = self.u_f.shape[0]
+        for name in ("u_f", "u_i", "u_c", "u_o"):
+            mat = getattr(self, name)
+            if mat.shape != (hidden, hidden):
+                raise ShapeError(f"{name} must be ({hidden}, {hidden}), got {mat.shape}")
+        input_size = self.w_f.shape[1]
+        for name in ("w_f", "w_i", "w_c", "w_o"):
+            mat = getattr(self, name)
+            if mat.shape != (hidden, input_size):
+                raise ShapeError(f"{name} must be ({hidden}, {input_size}), got {mat.shape}")
+        for name in ("b_f", "b_i", "b_c", "b_o"):
+            vec = getattr(self, name)
+            if vec.shape != (hidden,):
+                raise ShapeError(f"{name} must be ({hidden},), got {vec.shape}")
+
+    @property
+    def hidden_size(self) -> int:
+        """Number of hidden units ``H``."""
+        return self.u_f.shape[0]
+
+    @property
+    def input_size(self) -> int:
+        """Width of the layer input ``x_t``."""
+        return self.w_f.shape[1]
+
+    def gate_w(self, gate: str) -> np.ndarray:
+        """Input-projection matrix ``W_gate``."""
+        return getattr(self, f"w_{gate}")
+
+    def gate_u(self, gate: str) -> np.ndarray:
+        """Recurrent matrix ``U_gate``."""
+        return getattr(self, f"u_{gate}")
+
+    def gate_b(self, gate: str) -> np.ndarray:
+        """Bias vector ``b_gate``."""
+        return getattr(self, f"b_{gate}")
+
+    def united_w(self) -> np.ndarray:
+        """Concatenated ``W_{f,i,c,o}`` of shape ``(4H, input_size)``."""
+        return np.concatenate([self.gate_w(g) for g in GATE_ORDER], axis=0)
+
+    def united_u(self) -> np.ndarray:
+        """Concatenated ``U_{f,i,c,o}`` of shape ``(4H, H)``."""
+        return np.concatenate([self.gate_u(g) for g in GATE_ORDER], axis=0)
+
+    def united_b(self) -> np.ndarray:
+        """Concatenated bias ``b_{f,i,c,o}`` of shape ``(4H,)``."""
+        return np.concatenate([self.gate_b(g) for g in GATE_ORDER], axis=0)
+
+    @classmethod
+    def initialize(
+        cls,
+        hidden_size: int,
+        input_size: int,
+        init: WeightInitializer,
+        recurrent_scale: float = 1.0,
+        forget_bias: float = 1.0,
+    ) -> "LSTMCellWeights":
+        """Create freshly initialized weights.
+
+        Uses Xavier for the input projections and scaled orthogonal matrices
+        for the recurrent projections; the forget-gate bias follows the
+        common positive-bias convention so fresh cells retain state.
+        """
+        return cls(
+            w_f=init.xavier_uniform(hidden_size, input_size),
+            w_i=init.xavier_uniform(hidden_size, input_size),
+            w_c=init.xavier_uniform(hidden_size, input_size),
+            w_o=init.xavier_uniform(hidden_size, input_size),
+            u_f=init.orthogonal(hidden_size, hidden_size, gain=recurrent_scale),
+            u_i=init.orthogonal(hidden_size, hidden_size, gain=recurrent_scale),
+            u_c=init.orthogonal(hidden_size, hidden_size, gain=recurrent_scale),
+            u_o=init.orthogonal(hidden_size, hidden_size, gain=recurrent_scale),
+            b_f=init.bias(hidden_size, value=forget_bias),
+            b_i=init.bias(hidden_size),
+            b_c=init.bias(hidden_size),
+            b_o=init.bias(hidden_size),
+        )
+
+
+@dataclass
+class GateVectors:
+    """Post-activation gate values of one cell step (diagnostics)."""
+
+    f: np.ndarray
+    i: np.ndarray
+    g: np.ndarray  # tanh candidate from Eq. 3
+    o: np.ndarray
+
+
+@dataclass
+class CellState:
+    """The two outputs of one cell: hidden output ``h`` and cell state ``c``."""
+
+    h: np.ndarray
+    c: np.ndarray
+
+    @classmethod
+    def zeros(cls, hidden_size: int, batch: int | None = None) -> "CellState":
+        """Initial (all-zero) state used at the start of every layer."""
+        shape = (hidden_size,) if batch is None else (batch, hidden_size)
+        return cls(h=np.zeros(shape), c=np.zeros(shape))
+
+
+def input_projections(weights: LSTMCellWeights, x: np.ndarray) -> dict[str, np.ndarray]:
+    """Compute the per-gate input projections ``W_gate @ x`` for all gates.
+
+    This is the per-layer ``Sgemm(W_{f,i,c,o}, x)`` of Algorithm 1 step 2:
+    the whole layer's inputs are known up front, so these terms are computed
+    once and reused by every cell, by Algorithm 2 (which needs ``X'``), and
+    by the breakpoint search.
+
+    Args:
+        weights: The layer's cell weights.
+        x: Input of shape ``(E,)`` or ``(T, E)`` (one row per timestep).
+
+    Returns:
+        Mapping from gate name to projection of shape ``(H,)`` / ``(T, H)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return {g: x @ weights.gate_w(g).T for g in GATE_ORDER}
+
+
+def lstm_cell_step(
+    weights: LSTMCellWeights,
+    x_proj: dict[str, np.ndarray],
+    state: CellState,
+    skip_rows: np.ndarray | None = None,
+    sigmoid_fn: Callable[[np.ndarray], np.ndarray] = sigmoid,
+) -> tuple[CellState, GateVectors]:
+    """Advance one LSTM cell by one timestep (Eq. 1-5).
+
+    Args:
+        weights: The layer's cell weights.
+        x_proj: Pre-computed per-gate input projections for *this* timestep
+            (single rows out of :func:`input_projections`).
+        state: ``(h_{t-1}, c_{t-1})``.
+        skip_rows: Optional boolean mask of shape ``(H,)``; ``True`` marks a
+            trivial row skipped by DRS. Skipped rows contribute ``c_t = 0``
+            and therefore ``h_t = 0`` (Section V-A). The output gate ``o_t``
+            is always computed in full — DRS needs it to pick the rows.
+        sigmoid_fn: Gate activation (swap in :func:`hard_sigmoid` to model
+            frameworks that use the piecewise-linear approximation).
+
+    Returns:
+        The new :class:`CellState` and the :class:`GateVectors` diagnostics.
+    """
+    h_prev, c_prev = state.h, state.c
+
+    o_pre = x_proj["o"] + h_prev @ weights.u_o.T + weights.b_o
+    o = sigmoid_fn(o_pre)
+
+    if skip_rows is None:
+        keep = None
+    else:
+        skip_rows = np.asarray(skip_rows, dtype=bool)
+        if skip_rows.shape != (weights.hidden_size,):
+            raise ShapeError(
+                f"skip_rows must be ({weights.hidden_size},), got {skip_rows.shape}"
+            )
+        keep = ~skip_rows
+
+    if keep is None:
+        f = sigmoid_fn(x_proj["f"] + h_prev @ weights.u_f.T + weights.b_f)
+        i = sigmoid_fn(x_proj["i"] + h_prev @ weights.u_i.T + weights.b_i)
+        g = tanh(x_proj["c"] + h_prev @ weights.u_c.T + weights.b_c)
+        c = f * c_prev + i * g
+    else:
+        # Only the kept rows of U_f, U_i, U_c are loaded and multiplied;
+        # skipped elements of c_t are approximated to zero (Section V-A).
+        f = np.zeros_like(o)
+        i = np.zeros_like(o)
+        g = np.zeros_like(o)
+        if np.any(keep):
+            f_kept = sigmoid_fn(
+                _rows(x_proj["f"], keep) + h_prev @ weights.u_f[keep].T + weights.b_f[keep]
+            )
+            i_kept = sigmoid_fn(
+                _rows(x_proj["i"], keep) + h_prev @ weights.u_i[keep].T + weights.b_i[keep]
+            )
+            g_kept = tanh(
+                _rows(x_proj["c"], keep) + h_prev @ weights.u_c[keep].T + weights.b_c[keep]
+            )
+            _set_rows(f, keep, f_kept)
+            _set_rows(i, keep, i_kept)
+            _set_rows(g, keep, g_kept)
+        c = np.where(keep, f * c_prev + i * g, 0.0)
+
+    h = o * tanh(c)
+    return CellState(h=h, c=c), GateVectors(f=f, i=i, g=g, o=o)
+
+
+def run_reference_cell_sequence(
+    weights: LSTMCellWeights,
+    xs: np.ndarray,
+    initial: CellState | None = None,
+    sigmoid_fn: Callable[[np.ndarray], np.ndarray] = sigmoid,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the exact (unoptimized) cell recurrence over a whole sequence.
+
+    Args:
+        weights: Layer weights.
+        xs: Inputs of shape ``(T, E)``.
+        initial: Optional initial state (defaults to zeros).
+
+    Returns:
+        ``(hs, cs)`` of shape ``(T, H)`` each — the per-timestep outputs.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.ndim != 2:
+        raise ShapeError(f"xs must be 2-D (T, E), got shape {xs.shape}")
+    proj = input_projections(weights, xs)
+    state = initial if initial is not None else CellState.zeros(weights.hidden_size)
+    hs = np.empty((xs.shape[0], weights.hidden_size))
+    cs = np.empty_like(hs)
+    for t in range(xs.shape[0]):
+        step_proj = {g: proj[g][t] for g in GATE_ORDER}
+        state, _ = lstm_cell_step(weights, step_proj, state, sigmoid_fn=sigmoid_fn)
+        hs[t] = state.h
+        cs[t] = state.c
+    return hs, cs
+
+
+def _rows(vec: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Select kept elements along the hidden axis for vectors or batches."""
+    return vec[..., keep]
+
+
+def _set_rows(dest: np.ndarray, keep: np.ndarray, values: np.ndarray) -> None:
+    dest[..., keep] = values

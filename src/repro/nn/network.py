@@ -1,0 +1,133 @@
+"""Multi-layer LSTM networks with embedding and task heads.
+
+This is the model class the Table II applications instantiate. It supports
+the two output conventions the paper's task families need:
+
+* *sequence-final* heads (classification: SC / QA / ET) read the last
+  hidden vector of the top layer;
+* *per-timestep* heads (LM / MT) read every hidden vector of the top layer.
+
+The network deliberately exposes its internals (``embedding``, ``layers``,
+``head``) because the optimized executor replaces the layer recurrence while
+reusing the embedding and head verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import LSTMConfig
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.initializers import WeightInitializer
+from repro.nn.lstm_layer import LSTMLayer
+
+
+@dataclass
+class NetworkOutput:
+    """Result of one forward pass.
+
+    Attributes:
+        logits: ``(num_classes,)`` for sequence-final heads or
+            ``(T, num_classes)`` for per-timestep heads.
+        layer_outputs: Per-layer hidden sequences, each ``(T, H)``.
+        layer_states: Per-layer cell-state sequences, each ``(T, H)``.
+    """
+
+    logits: np.ndarray
+    layer_outputs: list[np.ndarray]
+    layer_states: list[np.ndarray]
+
+    def prediction(self) -> np.ndarray:
+        """Argmax prediction: scalar for final heads, ``(T,)`` otherwise."""
+        return np.argmax(self.logits, axis=-1)
+
+
+class LSTMNetwork:
+    """Embedding -> stacked LSTM layers -> linear head."""
+
+    def __init__(
+        self,
+        config: LSTMConfig,
+        vocab_size: int,
+        num_classes: int,
+        seed: int = 0,
+        per_timestep_head: bool = False,
+        head_pool: int = 1,
+        recurrent_scale: float = 1.0,
+    ) -> None:
+        if vocab_size <= 1:
+            raise ConfigurationError(f"vocab_size must exceed 1, got {vocab_size}")
+        if num_classes <= 1:
+            raise ConfigurationError(f"num_classes must exceed 1, got {num_classes}")
+        if head_pool < 1 or head_pool > config.seq_length:
+            raise ConfigurationError(
+                f"head_pool must be in [1, seq_length], got {head_pool}"
+            )
+        self.config = config
+        self.vocab_size = vocab_size
+        self.num_classes = num_classes
+        self.per_timestep_head = per_timestep_head
+        #: Sequence-final heads read the mean of the last ``head_pool``
+        #: hidden vectors (temporal mean pooling, standard in sequence
+        #: classifiers); 1 reproduces plain last-state readout.
+        self.head_pool = head_pool
+
+        init = WeightInitializer(seed)
+        embed_dim = config.effective_input_size
+        self.embedding = init.normal(vocab_size, embed_dim, std=0.3)
+        self.layers: list[LSTMLayer] = [
+            LSTMLayer.create(
+                config.hidden_size,
+                config.layer_input_size(idx),
+                init,
+                recurrent_scale=recurrent_scale,
+            )
+            for idx in range(config.num_layers)
+        ]
+        self.head_weight = init.xavier_uniform(num_classes, config.hidden_size)
+        self.head_bias = init.bias(num_classes)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of stacked LSTM layers."""
+        return len(self.layers)
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Look up token embeddings; returns ``(T, E)``."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ShapeError(f"tokens must be 1-D, got shape {tokens.shape}")
+        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.vocab_size:
+            raise ShapeError("token id out of vocabulary range")
+        return self.embedding[tokens]
+
+    def head_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Apply the linear head to ``(H,)`` or ``(T, H)`` hidden vectors."""
+        return hidden @ self.head_weight.T + self.head_bias
+
+    def pool_top(self, top: np.ndarray) -> np.ndarray:
+        """Readout vector(s) for a sequence-final head.
+
+        Args:
+            top: Top-layer hidden sequence, ``(T, H)`` or ``(B, T, H)``.
+        Returns:
+            ``(H,)`` / ``(B, H)``: the mean of the last ``head_pool`` steps.
+        """
+        return top[..., -self.head_pool:, :].mean(axis=-2)
+
+    def forward(self, tokens: np.ndarray) -> NetworkOutput:
+        """Exact forward pass (the paper's baseline numerics)."""
+        xs = self.embed(tokens)
+        layer_outputs: list[np.ndarray] = []
+        layer_states: list[np.ndarray] = []
+        for layer in self.layers:
+            xs, cs = layer.forward(xs)
+            layer_outputs.append(xs)
+            layer_states.append(cs)
+        top = layer_outputs[-1]
+        logits = self.head_logits(top if self.per_timestep_head else self.pool_top(top))
+        return NetworkOutput(
+            logits=logits, layer_outputs=layer_outputs, layer_states=layer_states
+        )

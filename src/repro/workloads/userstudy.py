@@ -1,0 +1,202 @@
+"""The user study (Section VI-E), with a simulated participant panel.
+
+The paper recruits 30 participants, replays application outputs with the
+delay and accuracy of four schemes (baseline, AO, BPA, UO), and collects
+1-5 satisfaction scores. The phenomenon behind Fig. 18 is a utility
+trade-off: users enjoy faster responses, dislike *perceptible* accuracy
+loss, and differ in how they weigh the two — which is why the per-user
+tuned UO scheme wins, the aggressive BPA scheme loses, and the
+imperceptible-loss AO scheme beats the baseline.
+
+The panel model encodes exactly that: each participant has a perception
+threshold for accuracy loss (centred on the 2 % the paper calls
+imperceptible), a speed preference, and an accuracy-loss aversion, all
+drawn from seeded distributions. The replay program replays measured
+(delay, accuracy) pairs from the benchmark harness, with per-replay jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.apps import WorkloadEvaluation
+
+#: Paper's panel size.
+DEFAULT_NUM_PARTICIPANTS: int = 30
+
+#: Replays rated per scheme per participant (100 replays / 4 schemes).
+DEFAULT_REPLAYS_PER_SCHEME: int = 25
+
+
+@dataclass(frozen=True)
+class SchemeExperience:
+    """What a user experiences under one scheme: delay ratio and accuracy.
+
+    ``delay_ratio`` is the response delay normalized to the baseline (1.0 =
+    baseline speed, 0.4 = 2.5x faster).
+    """
+
+    name: str
+    delay_ratio: float
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        if self.delay_ratio <= 0:
+            raise ConfigurationError("delay_ratio must be positive")
+        if not 0 <= self.accuracy <= 1:
+            raise ConfigurationError("accuracy must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One simulated panel member.
+
+    Attributes:
+        speed_preference: Marginal satisfaction per unit of delay saved.
+        loss_aversion: Marginal dissatisfaction per percentage point of
+            *perceived* accuracy loss.
+        perception_threshold: Accuracy loss below which the participant
+            notices nothing (centred on the paper's 2 %).
+        rating_noise: Std-dev of the per-replay rating jitter.
+    """
+
+    speed_preference: float
+    loss_aversion: float
+    perception_threshold: float
+    rating_noise: float = 0.35
+
+    def satisfaction(
+        self, experience: SchemeExperience, rng: np.random.Generator
+    ) -> int:
+        """Rate one replay on the paper's 1-5 scale."""
+        loss = 1.0 - experience.accuracy
+        perceived = max(0.0, loss - self.perception_threshold)
+        score = (
+            3.0
+            + self.speed_preference * (1.0 - experience.delay_ratio) * 2.0
+            - self.loss_aversion * perceived * 100.0
+            + rng.normal(0.0, self.rating_noise)
+        )
+        return int(np.clip(round(score), 1, 5))
+
+    def expected_satisfaction(self, experience: SchemeExperience) -> float:
+        """Noise-free utility, used for the UO per-user threshold choice."""
+        loss = 1.0 - experience.accuracy
+        perceived = max(0.0, loss - self.perception_threshold)
+        return (
+            3.0
+            + self.speed_preference * (1.0 - experience.delay_ratio) * 2.0
+            - self.loss_aversion * perceived * 100.0
+        )
+
+
+def sample_participants(
+    count: int = DEFAULT_NUM_PARTICIPANTS, seed: int = 0
+) -> list[Participant]:
+    """Draw a heterogeneous panel (the paper's random campus recruits)."""
+    if count < 1:
+        raise ConfigurationError("need at least one participant")
+    rng = np.random.default_rng(seed)
+    participants = []
+    for _ in range(count):
+        participants.append(
+            Participant(
+                speed_preference=float(rng.uniform(0.4, 1.4)),
+                loss_aversion=float(rng.uniform(0.04, 0.22)),
+                perception_threshold=float(np.clip(rng.normal(0.02, 0.008), 0.002, 0.05)),
+            )
+        )
+    return participants
+
+
+class ReplayProgram:
+    """Replays measured (delay, accuracy) pairs for each scheme.
+
+    Built from a Fig. 19 threshold sweep: the baseline is set 0, AO and BPA
+    are the paper's selections over the sweep, and UO offers every set so
+    each participant's preferred point can be replayed.
+    """
+
+    def __init__(self, sweep: list[WorkloadEvaluation]) -> None:
+        if len(sweep) < 2:
+            raise ConfigurationError("a replay program needs a threshold sweep")
+        self._sweep = sweep
+        self._experiences = [
+            SchemeExperience(
+                name=f"set{i}",
+                delay_ratio=1.0 / max(ev.speedup, 1e-9),
+                accuracy=ev.accuracy,
+            )
+            for i, ev in enumerate(sweep)
+        ]
+
+    @property
+    def experiences(self) -> list[SchemeExperience]:
+        """Per-threshold-set experiences (index-aligned with the sweep)."""
+        return list(self._experiences)
+
+    def experience_for(self, index: int, name: str | None = None) -> SchemeExperience:
+        """The experience of one threshold set, optionally renamed."""
+        exp = self._experiences[index]
+        if name is None:
+            return exp
+        return SchemeExperience(name=name, delay_ratio=exp.delay_ratio, accuracy=exp.accuracy)
+
+    def uo_choice(self, participant: Participant) -> SchemeExperience:
+        """UO scheme: the set maximizing this participant's utility."""
+        best = max(self._experiences, key=participant.expected_satisfaction)
+        return SchemeExperience(
+            name="UO", delay_ratio=best.delay_ratio, accuracy=best.accuracy
+        )
+
+
+@dataclass
+class StudyResult:
+    """Mean satisfaction per scheme (Fig. 18)."""
+
+    scores: dict[str, float]
+    per_participant: dict[str, np.ndarray]
+
+
+class UserStudy:
+    """Runs the Fig. 18 protocol on a simulated panel."""
+
+    def __init__(
+        self,
+        replay: ReplayProgram,
+        participants: list[Participant] | None = None,
+        replays_per_scheme: int = DEFAULT_REPLAYS_PER_SCHEME,
+        seed: int = 7,
+    ) -> None:
+        self.replay = replay
+        self.participants = participants or sample_participants(seed=seed)
+        self.replays_per_scheme = replays_per_scheme
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, ao_index: int, bpa_index: int) -> StudyResult:
+        """Rate the four schemes: baseline, AO, BPA, and per-user UO."""
+        fixed = {
+            "baseline": self.replay.experience_for(0, "baseline"),
+            "AO": self.replay.experience_for(ao_index, "AO"),
+            "BPA": self.replay.experience_for(bpa_index, "BPA"),
+        }
+        per_participant: dict[str, list[float]] = {
+            name: [] for name in (*fixed, "UO")
+        }
+        for participant in self.participants:
+            experiences = dict(fixed)
+            experiences["UO"] = self.replay.uo_choice(participant)
+            for name, experience in experiences.items():
+                ratings = [
+                    participant.satisfaction(experience, self._rng)
+                    for _ in range(self.replays_per_scheme)
+                ]
+                per_participant[name].append(float(np.mean(ratings)))
+        scores = {name: float(np.mean(vals)) for name, vals in per_participant.items()}
+        return StudyResult(
+            scores=scores,
+            per_participant={k: np.asarray(v) for k, v in per_participant.items()},
+        )

@@ -1,0 +1,83 @@
+"""Shared fixtures: tiny models and apps sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AppConfig, LSTMConfig, TaskFamily
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.core.pipeline import OptimizedLSTM
+from repro.nn.initializers import WeightInitializer
+from repro.nn.lstm_cell import LSTMCellWeights
+from repro.nn.model_zoo import build_calibrated_network
+from repro.nn.network import LSTMNetwork
+
+TINY_HIDDEN = 24
+TINY_INPUT = 20
+TINY_LENGTH = 12
+TINY_VOCAB = 60
+TINY_CLASSES = 3
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_weights() -> LSTMCellWeights:
+    init = WeightInitializer(7)
+    return LSTMCellWeights.initialize(TINY_HIDDEN, TINY_INPUT, init)
+
+
+@pytest.fixture
+def tiny_config() -> LSTMConfig:
+    return LSTMConfig(
+        hidden_size=TINY_HIDDEN,
+        num_layers=2,
+        seq_length=TINY_LENGTH,
+        input_size=TINY_INPUT,
+    )
+
+
+@pytest.fixture
+def tiny_app_config(tiny_config) -> AppConfig:
+    return AppConfig(
+        name="TINY",
+        family=TaskFamily.SENTIMENT_CLASSIFICATION,
+        model=tiny_config,
+        vocab_size=TINY_VOCAB,
+        num_classes=TINY_CLASSES,
+    )
+
+
+@pytest.fixture
+def tiny_network(tiny_config) -> LSTMNetwork:
+    return LSTMNetwork(tiny_config, TINY_VOCAB, TINY_CLASSES, seed=3)
+
+
+@pytest.fixture
+def calibrated_network(tiny_app_config) -> LSTMNetwork:
+    return build_calibrated_network(tiny_app_config, seed=5)
+
+
+@pytest.fixture
+def tiny_tokens(rng) -> np.ndarray:
+    return rng.integers(0, TINY_VOCAB, size=(4, TINY_LENGTH))
+
+
+@pytest.fixture
+def tiny_app(tiny_app_config) -> OptimizedLSTM:
+    app = OptimizedLSTM.from_app(tiny_app_config, seed=5)
+    app.calibrate(num_sequences=4)
+    return app
+
+
+def make_executor(
+    network: LSTMNetwork,
+    mode: ExecutionMode = ExecutionMode.BASELINE,
+    **kwargs,
+) -> LSTMExecutor:
+    """Executor factory used across executor/integration tests."""
+    return LSTMExecutor(network, ExecutionConfig(mode=mode, **kwargs))

@@ -1,0 +1,103 @@
+"""Tests for the Workload wrapper and scaled-capacity builders."""
+
+import numpy as np
+import pytest
+
+from repro.config import AppConfig, LSTMConfig, TaskFamily
+from repro.core.executor import ExecutionMode
+from repro.core.pipeline import OptimizedLSTM
+from repro.errors import ConfigurationError
+from repro.workloads.apps import (
+    DEFAULT_CONFIDENCE_KEEP_PER_APP,
+    DEFAULT_EVAL_SEQUENCES,
+    Workload,
+    all_app_names,
+    build_scaled_workload,
+    build_workload,
+)
+from repro.workloads.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    cfg = AppConfig(
+        name="TINY",
+        family=TaskFamily.SENTIMENT_CLASSIFICATION,
+        model=LSTMConfig(hidden_size=24, num_layers=2, seq_length=12, input_size=20),
+        vocab_size=60,
+        num_classes=3,
+    )
+    app = OptimizedLSTM.from_app(cfg, seed=5)
+    app.calibrate(num_sequences=4)
+    dataset = build_dataset(app, 10, seed=1, confidence_keep=0.6)
+    return Workload(app, dataset, "TINY")
+
+
+class TestDefaults:
+    def test_every_app_has_eval_size_and_keep(self):
+        for name in all_app_names():
+            assert name in DEFAULT_EVAL_SEQUENCES
+            assert name in DEFAULT_CONFIDENCE_KEEP_PER_APP
+            assert 0 < DEFAULT_CONFIDENCE_KEEP_PER_APP[name] <= 1
+
+
+class TestWorkload:
+    def test_requires_calibration(self, tiny_workload):
+        uncalibrated = OptimizedLSTM(tiny_workload.app.network)
+        with pytest.raises(ConfigurationError):
+            Workload(uncalibrated, tiny_workload.dataset, "X")
+
+    def test_baseline_cached(self, tiny_workload):
+        assert tiny_workload.baseline is tiny_workload.baseline
+
+    def test_set0_is_exact_baseline(self, tiny_workload):
+        ev = tiny_workload.evaluate(ExecutionMode.COMBINED, threshold_index=0)
+        assert ev.speedup == pytest.approx(1.0)
+        assert ev.accuracy == 1.0
+        assert ev.alpha_inter == 0.0 and ev.alpha_intra == 0.0
+
+    def test_evaluate_reports_resolved_alphas(self, tiny_workload):
+        ev = tiny_workload.evaluate(ExecutionMode.COMBINED, threshold_index=7)
+        schedule = tiny_workload.app.calibration.schedule()
+        assert ev.alpha_inter == schedule[7].alpha_inter
+        assert ev.alpha_intra == schedule[7].alpha_intra
+
+    def test_sweep_covers_all_sets(self, tiny_workload):
+        sweep = tiny_workload.threshold_sweep(ExecutionMode.INTRA)
+        assert [e.threshold_index for e in sweep] == list(range(11))
+
+    def test_sweep_with_explicit_indices(self, tiny_workload):
+        sweep = tiny_workload.threshold_sweep(ExecutionMode.INTRA, indices=[0, 10])
+        assert len(sweep) == 2
+
+    def test_accuracy_bounded(self, tiny_workload):
+        for ev in tiny_workload.threshold_sweep(
+            ExecutionMode.COMBINED, indices=[0, 5, 10]
+        ):
+            assert 0.0 <= ev.accuracy <= 1.0
+
+
+class TestScaledWorkload:
+    def test_scaling_changes_geometry(self):
+        workload = build_scaled_workload(
+            "MR", hidden_size=64, seq_length=10, num_sequences=6,
+            calibration_sequences=3,
+        )
+        cfg = workload.app.network.config
+        assert cfg.hidden_size == 64 and cfg.seq_length == 10
+        assert workload.name == "MR-H64-L10"
+
+    def test_scaled_workload_evaluates(self):
+        workload = build_scaled_workload(
+            "MR", hidden_size=48, seq_length=8, num_sequences=6,
+            calibration_sequences=3,
+        )
+        ev = workload.evaluate(ExecutionMode.COMBINED, threshold_index=5)
+        assert ev.speedup > 0
+        assert 0 <= ev.accuracy <= 1
+
+
+class TestBuildWorkload:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("NOPE")

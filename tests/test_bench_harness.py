@@ -1,0 +1,80 @@
+"""Tests for the benchmark harness infrastructure.
+
+The figure functions themselves are exercised by the ``benchmarks/`` suite
+on the real Table II applications; here we test the harness plumbing —
+app selection, context caching, and the static report generators.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentContext,
+    default_apps,
+    fig09_tissue_size_sweep,
+    table1_platform,
+    table2_applications,
+)
+
+
+class TestDefaultApps:
+    def test_all_six_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_APPS", raising=False)
+        assert default_apps() == ("IMDB", "MR", "BABI", "SNLI", "PTB", "MT")
+
+    def test_env_restriction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_APPS", "mr, ptb")
+        assert default_apps() == ("MR", "PTB")
+
+
+class TestStaticReports:
+    def test_table1(self):
+        report = table1_platform(ExperimentContext())
+        assert "Tegra X1" in report and "511" in report
+
+    def test_table2(self):
+        report = table2_applications(ExperimentContext())
+        assert report.count("\n") >= 7  # title + header + rule + 6 apps
+
+    def test_fig09_without_workload_builds(self):
+        """Fig. 9 only needs the simulator, not the heavy workloads."""
+        data, report = fig09_tissue_size_sweep(
+            ExperimentContext(), apps=("MR",), max_tissue_size=8
+        )
+        assert "MR" in data
+        assert data["MR"]["mts"] >= 2
+        assert len(data["MR"]["performance"]) == 8
+
+
+class TestContextCaching:
+    def test_workload_cached(self, monkeypatch):
+        ctx = ExperimentContext()
+        calls = []
+        import repro.bench.harness as harness
+
+        def fake_build(name, seed, spec):
+            calls.append(name)
+            return object()
+
+        monkeypatch.setattr(harness, "build_workload", fake_build)
+        ctx.workload("MR")
+        ctx.workload("mr")
+        assert calls == ["MR"]
+
+    def test_sweep_cached(self, monkeypatch):
+        from repro.core.executor import ExecutionMode
+
+        ctx = ExperimentContext()
+        calls = []
+
+        class FakeWorkload:
+            def threshold_sweep(self, mode, drs_style="hardware"):
+                calls.append((mode, drs_style))
+                return ["sweep"]
+
+        ctx._workloads["MR"] = FakeWorkload()
+        ctx.sweep("MR", ExecutionMode.INTER)
+        ctx.sweep("MR", ExecutionMode.INTER)
+        ctx.sweep("MR", ExecutionMode.INTER, drs_style="software")
+        assert len(calls) == 2

@@ -1,0 +1,84 @@
+"""Tests for weak-link search and layer division."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.breakpoints import SubLayer, divide_layer, find_breakpoints
+from repro.errors import PlanError
+
+
+class TestSubLayer:
+    def test_length(self):
+        assert SubLayer(3, 7).length == 4
+
+    def test_timestamps(self):
+        assert list(SubLayer(2, 5).timestamps()) == [2, 3, 4]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(PlanError):
+            SubLayer(5, 5)
+        with pytest.raises(PlanError):
+            SubLayer(-1, 3)
+
+
+class TestFindBreakpoints:
+    def test_zero_threshold_is_baseline(self):
+        s = np.array([0.0, 0.0, 0.0])
+        assert find_breakpoints(s, 0.0) == []
+
+    def test_strict_inequality(self):
+        s = np.array([5.0, 3.0, 3.0])
+        assert find_breakpoints(s, 3.0) == []
+
+    def test_finds_weak_links(self):
+        s = np.array([9.0, 1.0, 9.0, 2.0, 9.0])
+        assert find_breakpoints(s, 3.0) == [1, 3]
+
+    def test_never_breaks_t0(self):
+        s = np.array([0.0, 9.0, 9.0])
+        assert find_breakpoints(s, 1.0) == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(PlanError):
+            find_breakpoints(np.zeros(3), -1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(PlanError):
+            find_breakpoints(np.zeros((2, 2)), 1.0)
+
+
+class TestDivideLayer:
+    def test_no_breakpoints(self):
+        subs = divide_layer(10, [])
+        assert len(subs) == 1 and subs[0].start == 0 and subs[0].end == 10
+
+    def test_division(self):
+        subs = divide_layer(10, [3, 7])
+        assert [(s.start, s.end) for s in subs] == [(0, 3), (3, 7), (7, 10)]
+
+    def test_duplicate_breakpoints_deduplicated(self):
+        subs = divide_layer(10, [3, 3, 7])
+        assert len(subs) == 3
+
+    def test_all_links_broken(self):
+        subs = divide_layer(4, [1, 2, 3])
+        assert all(s.length == 1 for s in subs)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PlanError):
+            divide_layer(5, [5])
+        with pytest.raises(PlanError):
+            divide_layer(5, [0])
+
+    @given(
+        st.integers(2, 60),
+        st.sets(st.integers(1, 59), max_size=20),
+    )
+    def test_division_partitions_exactly(self, length, raw_breaks):
+        breaks = sorted(b for b in raw_breaks if b < length)
+        subs = divide_layer(length, breaks)
+        covered = [t for s in subs for t in s.timestamps()]
+        assert covered == list(range(length))
+        assert sum(s.length for s in subs) == length
+        assert len(subs) == len(breaks) + 1

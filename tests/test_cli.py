@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "MR"])
+        assert args.mode == "combined"
+        assert args.threshold_set == 4
+
+    def test_run_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE"])
+
+    def test_sweep_disallows_baseline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "MR", "--mode", "baseline"])
+
+    def test_figure_names(self):
+        for name in FIGURES:
+            args = build_parser().parse_args(["figure", name])
+            assert args.name == name
+
+
+class TestCommands:
+    def test_info_prints_tables(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tegra X1" in out and "PTB" in out
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "Hidden_Size" in capsys.readouterr().out
+
+    def test_run_baseline_mr(self, capsys):
+        assert main(["run", "MR", "--mode", "baseline", "--sequences", "2"]) == 0
+        assert "ms/seq" in capsys.readouterr().out
+
+    def test_run_optimized_mr(self, capsys):
+        code = main(
+            ["run", "MR", "--mode", "intra", "--set", "3", "--sequences", "2"]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out

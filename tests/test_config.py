@@ -1,0 +1,104 @@
+"""Tests for the Table II registry and model-geometry configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    APP_NAMES,
+    AppConfig,
+    LSTMConfig,
+    TABLE2_APPS,
+    TaskFamily,
+    get_app,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLSTMConfig:
+    def test_defaults_input_size_to_hidden(self):
+        cfg = LSTMConfig(hidden_size=64, num_layers=2, seq_length=10)
+        assert cfg.effective_input_size == 64
+
+    def test_layer_input_sizes(self):
+        cfg = LSTMConfig(hidden_size=64, num_layers=3, seq_length=10, input_size=32)
+        assert cfg.layer_input_size(0) == 32
+        assert cfg.layer_input_size(1) == 64
+        assert cfg.layer_input_size(2) == 64
+
+    def test_layer_index_out_of_range(self):
+        cfg = LSTMConfig(hidden_size=64, num_layers=1, seq_length=10)
+        with pytest.raises(ConfigurationError):
+            cfg.layer_input_size(1)
+
+    def test_recurrent_weight_bytes(self):
+        cfg = LSTMConfig(hidden_size=256, num_layers=1, seq_length=10)
+        assert cfg.recurrent_weight_bytes == 4 * 256 * 256 * 4
+
+    @pytest.mark.parametrize("field,value", [
+        ("hidden_size", 0),
+        ("num_layers", 0),
+        ("seq_length", -1),
+        ("dtype_bytes", 3),
+    ])
+    def test_validation(self, field, value):
+        kwargs = dict(hidden_size=8, num_layers=1, seq_length=4)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            LSTMConfig(**kwargs)
+
+    def test_scaled_changes_capacity(self):
+        cfg = LSTMConfig(hidden_size=64, num_layers=2, seq_length=10)
+        scaled = cfg.scaled(hidden_size=128, seq_length=20)
+        assert scaled.hidden_size == 128 and scaled.seq_length == 20
+        assert scaled.num_layers == cfg.num_layers
+
+    def test_scaled_preserves_when_omitted(self):
+        cfg = LSTMConfig(hidden_size=64, num_layers=2, seq_length=10)
+        assert cfg.scaled().hidden_size == 64
+
+
+class TestTable2:
+    def test_all_six_apps_present(self):
+        assert set(APP_NAMES) == {"IMDB", "MR", "BABI", "SNLI", "PTB", "MT"}
+
+    @pytest.mark.parametrize("name,hidden,layers,length", [
+        ("IMDB", 512, 3, 80),
+        ("MR", 256, 1, 22),
+        ("BABI", 256, 3, 86),
+        ("SNLI", 300, 2, 100),
+        ("PTB", 650, 3, 200),
+        ("MT", 500, 4, 50),
+    ])
+    def test_paper_geometries(self, name, hidden, layers, length):
+        app = TABLE2_APPS[name]
+        assert app.model.hidden_size == hidden
+        assert app.model.num_layers == layers
+        assert app.model.seq_length == length
+
+    def test_task_families(self):
+        assert TABLE2_APPS["PTB"].family is TaskFamily.LANGUAGE_MODELING
+        assert TABLE2_APPS["MT"].family is TaskFamily.MACHINE_TRANSLATION
+        assert TABLE2_APPS["BABI"].family is TaskFamily.QUESTION_ANSWERING
+
+    def test_lookup_case_insensitive(self):
+        assert get_app("ptb") is TABLE2_APPS["PTB"]
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_app("NOPE")
+
+    def test_app_config_validation(self):
+        model = LSTMConfig(hidden_size=8, num_layers=1, seq_length=4)
+        with pytest.raises(ConfigurationError):
+            AppConfig(
+                name="X",
+                family=TaskFamily.SENTIMENT_CLASSIFICATION,
+                model=model,
+                vocab_size=1,
+                num_classes=2,
+            )
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TABLE2_APPS["MR"].model.hidden_size = 1

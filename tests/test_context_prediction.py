@@ -1,0 +1,71 @@
+"""Tests for the Eq. 6 predicted context link."""
+
+import numpy as np
+import pytest
+
+from repro.core.context_prediction import ContextLinkPredictor, PredictedLink
+from repro.errors import CalibrationError, ShapeError
+
+
+class TestPredictedLink:
+    def test_zeros(self):
+        link = PredictedLink.zeros(5)
+        np.testing.assert_array_equal(link.h_bar, 0.0)
+        assert link.hidden_size == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            PredictedLink(h_bar=np.zeros(3), c_bar=np.zeros(4))
+
+
+class TestPredictor:
+    def test_expectation_close_to_mean(self):
+        rng = np.random.default_rng(0)
+        samples_h = rng.normal(0.3, 0.2, size=(400, 6))
+        samples_c = rng.normal(-0.5, 0.4, size=(400, 6))
+        predictor = ContextLinkPredictor(6, num_bins=128)
+        predictor.observe(samples_h, samples_c)
+        link = predictor.fit()
+        np.testing.assert_allclose(link.h_bar, samples_h.mean(axis=0), atol=0.02)
+        np.testing.assert_allclose(link.c_bar, samples_c.mean(axis=0), atol=0.05)
+
+    def test_histogram_expectation_of_bimodal(self):
+        """Eq. 6 is an expectation, not a mode — bimodal data averages."""
+        h = np.concatenate([np.full((100, 1), -1.0), np.full((100, 1), 1.0)])
+        predictor = ContextLinkPredictor(1)
+        predictor.observe(h, h)
+        link = predictor.fit()
+        assert abs(link.h_bar[0]) < 0.1
+
+    def test_incremental_observation(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(50, 4))
+        b = rng.normal(size=(70, 4))
+        joint = ContextLinkPredictor(4)
+        joint.observe(np.concatenate([a, b]), np.concatenate([a, b]))
+        split = ContextLinkPredictor(4)
+        split.observe(a, a)
+        split.observe(b, b)
+        assert split.num_samples == joint.num_samples == 120
+        np.testing.assert_allclose(split.fit().h_bar, joint.fit().h_bar)
+
+    def test_fit_without_samples(self):
+        with pytest.raises(CalibrationError):
+            ContextLinkPredictor(4).fit()
+
+    def test_observe_shape_mismatch(self):
+        predictor = ContextLinkPredictor(4)
+        with pytest.raises(ShapeError):
+            predictor.observe(np.zeros((5, 4)), np.zeros((5, 3)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(CalibrationError):
+            ContextLinkPredictor(0)
+        with pytest.raises(CalibrationError):
+            ContextLinkPredictor(4, num_bins=1)
+
+    def test_single_vector_observation(self):
+        predictor = ContextLinkPredictor(3)
+        predictor.observe(np.ones(3) * 0.5, np.ones(3))
+        link = predictor.fit()
+        np.testing.assert_allclose(link.h_bar, 0.5, atol=0.05)

@@ -1,0 +1,99 @@
+"""Tests for the confidence-labelled synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.config import AppConfig, LSTMConfig, TaskFamily
+from repro.core.executor import ExecutionMode
+from repro.core.pipeline import OptimizedLSTM
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import SyntheticDataset, build_dataset
+
+
+@pytest.fixture
+def lm_app():
+    cfg = AppConfig(
+        name="TINYLM",
+        family=TaskFamily.LANGUAGE_MODELING,
+        model=LSTMConfig(hidden_size=24, num_layers=1, seq_length=10, input_size=20),
+        vocab_size=50,
+        num_classes=50,
+    )
+    app = OptimizedLSTM.from_app(cfg, seed=2)
+    app.calibrate(num_sequences=3)
+    return app
+
+
+class TestClassificationDataset:
+    def test_build(self, tiny_app):
+        ds = build_dataset(tiny_app, 8, seed=0, confidence_keep=0.5)
+        assert ds.num_sequences == 8
+        assert not ds.per_timestep
+        assert ds.num_eval_units == 8
+
+    def test_baseline_scores_perfectly(self, tiny_app):
+        ds = build_dataset(tiny_app, 8, seed=0)
+        base = tiny_app.run(ds.tokens, mode=ExecutionMode.BASELINE)
+        assert ds.accuracy(base.predictions) == 1.0
+
+    def test_confidence_selection_keeps_high_margins(self, tiny_app):
+        from repro.workloads.metrics import prediction_margins
+
+        strict = build_dataset(tiny_app, 6, seed=0, confidence_keep=0.3)
+        loose = build_dataset(tiny_app, 6, seed=0, confidence_keep=1.0)
+        m_strict = prediction_margins(
+            tiny_app.run(strict.tokens, mode=ExecutionMode.BASELINE).logits
+        ).mean()
+        m_loose = prediction_margins(
+            tiny_app.run(loose.tokens, mode=ExecutionMode.BASELINE).logits
+        ).mean()
+        assert m_strict >= m_loose
+
+    def test_invalid_keep(self, tiny_app):
+        with pytest.raises(ConfigurationError):
+            build_dataset(tiny_app, 4, confidence_keep=0.0)
+
+
+class TestTokenLevelDataset:
+    def test_build(self, lm_app):
+        ds = build_dataset(lm_app, 4, seed=0, confidence_keep=0.5)
+        assert ds.per_timestep
+        assert ds.teacher.shape == (4, 10)
+        assert ds.teacher_topk is not None
+        assert ds.teacher_topk.shape == (4, 10, 5)
+        # keep fraction of tokens selected
+        assert ds.num_eval_units == pytest.approx(0.5 * 40, abs=2)
+
+    def test_top1_in_topk(self, lm_app):
+        ds = build_dataset(lm_app, 4, seed=0)
+        # teacher top-1 must be inside the top-k set
+        hits = (ds.teacher_topk == ds.teacher[..., None]).any(axis=-1)
+        assert hits.all()
+
+    def test_baseline_scores_perfectly(self, lm_app):
+        ds = build_dataset(lm_app, 4, seed=0)
+        base = lm_app.run(ds.tokens, mode=ExecutionMode.BASELINE)
+        assert ds.accuracy(base.predictions) == 1.0
+
+    def test_topk_accuracy_is_forgiving(self, lm_app):
+        """A prediction equal to the teacher's 2nd choice still scores."""
+        ds = build_dataset(lm_app, 4, seed=0)
+        second = ds.teacher_topk[..., -2]
+        acc = ds.accuracy(second)
+        assert acc == 1.0
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticDataset(
+                tokens=np.zeros((2, 3), dtype=int),
+                teacher=np.zeros(2, dtype=int),
+                eval_mask=np.ones(3, dtype=bool),
+                per_timestep=False,
+            )
+
+    def test_prediction_shape_checked(self, lm_app):
+        ds = build_dataset(lm_app, 4, seed=0)
+        with pytest.raises(ConfigurationError):
+            ds.accuracy(np.zeros(4, dtype=int))

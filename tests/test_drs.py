@@ -1,0 +1,99 @@
+"""Tests for the dynamic-row-skip primitives (Algorithm 3 numerics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.drs import (
+    compression_ratio,
+    skip_fraction,
+    skipped_weight_bytes,
+    tissue_skip_mask,
+    trivial_row_mask,
+)
+from repro.errors import PlanError
+
+
+class TestTrivialRowMask:
+    def test_thresholding(self):
+        o = np.array([0.01, 0.2, 0.049, 0.5])
+        np.testing.assert_array_equal(
+            trivial_row_mask(o, 0.05), [True, False, True, False]
+        )
+
+    def test_zero_threshold_disables(self):
+        o = np.array([0.0, 0.5])
+        assert not trivial_row_mask(o, 0.0).any()
+
+    def test_batched(self):
+        o = np.array([[0.01, 0.9], [0.9, 0.01]])
+        mask = trivial_row_mask(o, 0.1)
+        assert mask.shape == (2, 2)
+        assert mask[0, 0] and mask[1, 1]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(PlanError):
+            trivial_row_mask(np.zeros(3), -0.1)
+
+    @given(st.floats(0.0, 1.0))
+    def test_fraction_monotone_in_threshold(self, alpha):
+        o = np.linspace(0, 1, 101)
+        low = trivial_row_mask(o, alpha).mean()
+        high = trivial_row_mask(o, min(1.0, alpha + 0.1)).mean()
+        assert high >= low
+
+
+class TestTissueSkipMask:
+    def test_intersection(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        np.testing.assert_array_equal(tissue_skip_mask([a, b]), [True, False, False])
+
+    def test_single_cell_identity(self):
+        a = np.array([True, False])
+        np.testing.assert_array_equal(tissue_skip_mask([a]), a)
+
+    def test_intersection_never_larger(self):
+        rng = np.random.default_rng(0)
+        masks = [rng.random(32) < 0.5 for _ in range(4)]
+        inter = tissue_skip_mask(masks)
+        for m in masks:
+            assert skip_fraction(inter) <= skip_fraction(m)
+
+    def test_does_not_mutate_inputs(self):
+        a = np.array([True, True])
+        b = np.array([False, True])
+        a_copy = a.copy()
+        tissue_skip_mask([a, b])
+        np.testing.assert_array_equal(a, a_copy)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            tissue_skip_mask([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            tissue_skip_mask([np.zeros(3, bool), np.zeros(4, bool)])
+
+
+class TestAccounting:
+    def test_skip_fraction(self):
+        assert skip_fraction(np.array([True, False, True, False])) == 0.5
+
+    def test_skipped_weight_bytes(self):
+        mask = np.array([True, False, False, False])
+        loaded, full = skipped_weight_bytes(4, mask)
+        assert full == 3 * 4 * 4 * 4
+        assert loaded == pytest.approx(full * 0.75)
+
+    def test_compression_ratio_covers_three_gates(self):
+        masks = [np.array([True, True, False, False])]
+        assert compression_ratio(masks) == pytest.approx(0.75 * 0.5)
+
+    def test_compression_ratio_empty(self):
+        assert compression_ratio([]) == 0.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_compression_bounded(self, bits):
+        mask = np.array(bits)
+        assert 0.0 <= compression_ratio([mask]) <= 0.75

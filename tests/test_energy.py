@@ -1,0 +1,88 @@
+"""Tests for the whole-system energy model."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpu.energy import EnergyBreakdown, EnergyModel
+from repro.gpu.kernels import sgemv_kernel
+from repro.gpu.simulator import TimingSimulator
+from repro.gpu.specs import TEGRA_X1
+
+
+def stats_for(hidden=512, **overrides):
+    sim = TimingSimulator(TEGRA_X1)
+    kernel = sgemv_kernel(
+        4 * hidden, hidden, TEGRA_X1.onchip_traffic_per_flop(hidden), weight_id="U"
+    )
+    kernel = dataclasses.replace(kernel, **overrides)
+    return sim.run_kernel(kernel)
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        bd = EnergyBreakdown(static=1, compute=2, dram=3, onchip=4, launch=5, crm=6)
+        assert bd.total == 21
+        assert sum(bd.as_dict().values()) == 21
+
+    def test_components_mapping(self):
+        bd = EnergyBreakdown(1, 2, 3, 4, 5, 6)
+        assert set(bd.as_dict()) == {"static", "compute", "dram", "onchip", "launch", "crm"}
+
+
+class TestEnergyModel:
+    def test_static_scales_with_time(self):
+        model = EnergyModel(TEGRA_X1)
+        stats = stats_for()
+        bd = model.kernel_energy(stats)
+        assert bd.static == pytest.approx(TEGRA_X1.static_power * stats.time)
+
+    def test_compute_scales_with_flops(self):
+        model = EnergyModel(TEGRA_X1)
+        stats = stats_for()
+        bd = model.kernel_energy(stats)
+        assert bd.compute == pytest.approx(TEGRA_X1.energy_per_flop * stats.flops)
+
+    def test_launch_energy_is_constant_per_kernel(self):
+        model = EnergyModel(TEGRA_X1)
+        small = model.kernel_energy(stats_for(hidden=512))
+        assert small.launch == TEGRA_X1.launch_energy
+
+    def test_crm_overhead_fraction(self):
+        model = EnergyModel(TEGRA_X1)
+        stats = stats_for()
+        without = model.kernel_energy(stats, uses_crm=False)
+        with_crm = model.kernel_energy(stats, uses_crm=True)
+        base = without.total - without.launch
+        assert with_crm.crm == pytest.approx(base * TEGRA_X1.crm_power_overhead)
+
+    def test_annotate_fills_stats(self):
+        model = EnergyModel(TEGRA_X1)
+        stats = stats_for()
+        stats.energy = 0.0
+        model.annotate(stats)
+        assert stats.energy > 0
+        assert stats.energy == pytest.approx(sum(stats.energy_parts.values()))
+
+
+class TestSystemLevelShape:
+    def test_memory_energy_matters(self):
+        """For the memory-bound Sgemv, DRAM energy is a major component —
+        the reason moving fewer bytes saves energy at equal time."""
+        model = EnergyModel(TEGRA_X1)
+        bd = model.kernel_energy(stats_for())
+        assert bd.dram > 0.2 * bd.total
+
+    def test_energy_saving_tracks_byte_saving(self):
+        """Halving the weight bytes saves energy even at equal speedup
+        accounting (both time and traffic shrink)."""
+        sim = TimingSimulator(TEGRA_X1)
+        full = sim.run_kernel(
+            sgemv_kernel(2048, 512, 4.4, weight_id="A")
+        )
+        sim.reset()
+        half = sim.run_kernel(
+            sgemv_kernel(2048, 512, 4.4, weight_id="B", weight_bytes=2048 * 512 * 2)
+        )
+        assert half.energy < full.energy

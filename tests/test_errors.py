@@ -1,0 +1,29 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    PlanError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ConfigurationError, ShapeError, PlanError, SimulationError, CalibrationError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_shape_error_is_configuration_error():
+    assert issubclass(ShapeError, ConfigurationError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise PlanError("x")

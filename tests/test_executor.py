@@ -1,0 +1,299 @@
+"""Tests for the mode executor — the numerical heart of the reproduction.
+
+The key invariants: every optimized mode with its thresholds at zero is
+numerically identical to the baseline; the baseline executor matches the
+reference network forward; and the combined mode degenerates to the inter /
+intra modes when the other knob is off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context_prediction import PredictedLink
+from repro.core.executor import (
+    ExecutionConfig,
+    ExecutionMode,
+    LSTMExecutor,
+)
+from repro.errors import ConfigurationError, ShapeError
+from tests.conftest import make_executor
+
+
+class TestConfig:
+    def test_mode_flags(self):
+        assert ExecutionConfig(mode=ExecutionMode.COMBINED).inter_active
+        assert ExecutionConfig(mode=ExecutionMode.COMBINED).intra_active
+        assert not ExecutionConfig(mode=ExecutionMode.INTER).intra_active
+        assert not ExecutionConfig(mode=ExecutionMode.INTRA).inter_active
+        assert not ExecutionConfig(mode=ExecutionMode.BASELINE).inter_active
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(alpha_inter=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(mts=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(drs_style="quantum")
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(zero_prune_fraction=1.0)
+
+
+class TestBaseline:
+    def test_matches_reference_forward(self, tiny_network, tiny_tokens):
+        executor = make_executor(tiny_network)
+        result = executor.run_batch(tiny_tokens)
+        for b, tokens in enumerate(tiny_tokens):
+            ref = tiny_network.forward(tokens)
+            np.testing.assert_allclose(result.logits[b], ref.logits, atol=1e-10)
+
+    def test_plans_are_singleton_tissues(self, tiny_network, tiny_tokens):
+        result = make_executor(tiny_network).run_batch(tiny_tokens)
+        for plan in result.plans:
+            for record in plan.layers:
+                record.validate()
+                assert all(t.size == 1 for t in record.tissues)
+                assert record.breakpoints == []
+
+    def test_collect_states(self, tiny_network, tiny_tokens):
+        result = make_executor(tiny_network).run_batch(tiny_tokens, collect_states=True)
+        assert len(result.layer_states) == tiny_network.num_layers
+        assert result.layer_states[0].shape == result.layer_outputs[0].shape
+
+    def test_rejects_1d_tokens(self, tiny_network, tiny_tokens):
+        with pytest.raises(ShapeError):
+            make_executor(tiny_network).run_batch(tiny_tokens[0])
+
+
+class TestIntra:
+    def test_alpha_zero_equals_baseline(self, tiny_network, tiny_tokens):
+        base = make_executor(tiny_network).run_batch(tiny_tokens)
+        intra = make_executor(
+            tiny_network, ExecutionMode.INTRA, alpha_intra=0.0
+        ).run_batch(tiny_tokens)
+        np.testing.assert_allclose(intra.logits, base.logits, atol=1e-12)
+
+    def test_skip_semantics_match_reference_cell(self, calibrated_network, tiny_tokens):
+        """Batched masked-matmul numerics == sliced-weight row skipping."""
+        from repro.nn.lstm_cell import (
+            CellState,
+            GATE_ORDER,
+            input_projections,
+            lstm_cell_step,
+        )
+
+        alpha = 0.1
+        executor = make_executor(
+            calibrated_network, ExecutionMode.INTRA, alpha_intra=alpha
+        )
+        result = executor.run_batch(tiny_tokens[:1])
+
+        # Reference: single-sequence loop with true row slicing.
+        net = calibrated_network
+        xs = net.embed(tiny_tokens[0])
+        for layer in net.layers:
+            w = layer.weights
+            proj = input_projections(w, xs)
+            state = CellState.zeros(w.hidden_size)
+            hs = []
+            for t in range(xs.shape[0]):
+                step_proj = {g: proj[g][t] for g in GATE_ORDER}
+                # Compute o first to build the mask, as DRS does.
+                o_pre = step_proj["o"] + w.u_o @ state.h + w.b_o
+                from repro.nn.activations import sigmoid
+
+                mask = sigmoid(o_pre) < alpha
+                state, _ = lstm_cell_step(w, step_proj, state, skip_rows=mask)
+                hs.append(state.h)
+            xs = np.asarray(hs)
+        ref_logits = net.head_logits(net.pool_top(xs))
+        np.testing.assert_allclose(result.logits[0], ref_logits, atol=1e-10)
+
+    def test_records_skip_fractions(self, calibrated_network, tiny_tokens):
+        executor = make_executor(
+            calibrated_network, ExecutionMode.INTRA, alpha_intra=0.2
+        )
+        result = executor.run_batch(tiny_tokens)
+        fractions = [p.mean_skip_fraction for p in result.plans]
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        assert any(f > 0.0 for f in fractions)
+
+    def test_higher_alpha_skips_more(self, calibrated_network, tiny_tokens):
+        low = make_executor(
+            calibrated_network, ExecutionMode.INTRA, alpha_intra=0.05
+        ).run_batch(tiny_tokens)
+        high = make_executor(
+            calibrated_network, ExecutionMode.INTRA, alpha_intra=0.4
+        ).run_batch(tiny_tokens)
+        assert (
+            np.mean([p.mean_skip_fraction for p in high.plans])
+            >= np.mean([p.mean_skip_fraction for p in low.plans])
+        )
+
+
+class TestInter:
+    def test_epsilon_alpha_equals_baseline(self, calibrated_network, tiny_tokens):
+        base = make_executor(calibrated_network).run_batch(tiny_tokens)
+        inter = make_executor(
+            calibrated_network, ExecutionMode.INTER, alpha_inter=1e-300
+        ).run_batch(tiny_tokens)
+        np.testing.assert_allclose(inter.logits, base.logits, atol=1e-12)
+
+    def test_relevance_recorded(self, calibrated_network, tiny_tokens):
+        inter = make_executor(
+            calibrated_network, ExecutionMode.INTER, alpha_inter=1e-300
+        ).run_batch(tiny_tokens)
+        for plan in inter.plans:
+            for record in plan.layers:
+                assert record.relevance is not None
+                assert record.relevance.shape == (record.seq_length,)
+
+    def test_breaking_everything_uses_predicted_link(self, calibrated_network, tiny_tokens):
+        """With every link broken, each cell starts from the predicted
+        link, so the recurrence contributes nothing sequence-specific."""
+        hidden = calibrated_network.config.hidden_size
+        link = PredictedLink(
+            h_bar=np.full(hidden, 0.1), c_bar=np.full(hidden, 0.2)
+        )
+        config = ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=1e12)
+        executor = LSTMExecutor(
+            calibrated_network,
+            config,
+            predicted_links=[link] * calibrated_network.num_layers,
+        )
+        result = executor.run_batch(tiny_tokens)
+        for plan in result.plans:
+            rec = plan.layers[0]
+            assert len(rec.breakpoints) == rec.seq_length - 1
+
+    def test_plans_valid_and_tissues_capped(self, calibrated_network, tiny_tokens):
+        mts = 3
+        executor = make_executor(
+            calibrated_network, ExecutionMode.INTER, alpha_inter=1e12, mts=mts
+        )
+        result = executor.run_batch(tiny_tokens)
+        for plan in result.plans:
+            for record in plan.layers:
+                record.validate()
+                assert all(t.size <= mts for t in record.tissues)
+
+    def test_predicted_link_count_validated(self, calibrated_network):
+        with pytest.raises(ConfigurationError):
+            LSTMExecutor(
+                calibrated_network,
+                ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=1.0),
+                predicted_links=[PredictedLink.zeros(calibrated_network.config.hidden_size)],
+            )
+
+
+class TestCombined:
+    def test_reduces_to_inter_when_alpha_intra_zero(self, calibrated_network, tiny_tokens):
+        alpha = 100.0
+        inter = make_executor(
+            calibrated_network, ExecutionMode.INTER, alpha_inter=alpha
+        ).run_batch(tiny_tokens)
+        combined = make_executor(
+            calibrated_network,
+            ExecutionMode.COMBINED,
+            alpha_inter=alpha,
+            alpha_intra=0.0,
+        ).run_batch(tiny_tokens)
+        np.testing.assert_allclose(combined.logits, inter.logits, atol=1e-10)
+
+    def test_reduces_to_intra_when_alpha_inter_zero(self, calibrated_network, tiny_tokens):
+        alpha = 0.15
+        intra = make_executor(
+            calibrated_network, ExecutionMode.INTRA, alpha_intra=alpha
+        ).run_batch(tiny_tokens)
+        combined = make_executor(
+            calibrated_network,
+            ExecutionMode.COMBINED,
+            alpha_inter=0.0,
+            alpha_intra=alpha,
+        ).run_batch(tiny_tokens)
+        np.testing.assert_allclose(combined.logits, intra.logits, atol=1e-10)
+
+    def test_tissue_skip_is_intersection(self, calibrated_network, tiny_tokens):
+        """A multi-cell tissue can never skip more rows than the stingiest
+        of its cells (the shared-load constraint)."""
+        combined = make_executor(
+            calibrated_network,
+            ExecutionMode.COMBINED,
+            alpha_inter=1e12,
+            alpha_intra=0.3,
+            mts=4,
+        ).run_batch(tiny_tokens)
+        intra = make_executor(
+            calibrated_network, ExecutionMode.INTRA, alpha_intra=0.3
+        ).run_batch(tiny_tokens)
+        assert (
+            np.mean([p.mean_skip_fraction for p in combined.plans])
+            <= np.mean([p.mean_skip_fraction for p in intra.plans]) + 1e-9
+        )
+
+    def test_plans_valid(self, calibrated_network, tiny_tokens):
+        result = make_executor(
+            calibrated_network,
+            ExecutionMode.COMBINED,
+            alpha_inter=1e12,
+            alpha_intra=0.2,
+            mts=3,
+        ).run_batch(tiny_tokens)
+        for plan in result.plans:
+            for record in plan.layers:
+                record.validate()
+
+
+class TestZeroPrune:
+    def test_prunes_and_runs(self, tiny_network, tiny_tokens):
+        executor = make_executor(
+            tiny_network, ExecutionMode.ZERO_PRUNE, zero_prune_fraction=0.4
+        )
+        assert executor.pruning_kept_fraction == pytest.approx(0.6, abs=0.02)
+        result = executor.run_batch(tiny_tokens)
+        assert result.logits.shape == (tiny_tokens.shape[0], tiny_network.num_classes)
+
+    def test_zero_fraction_matches_baseline(self, tiny_network, tiny_tokens):
+        base = make_executor(tiny_network).run_batch(tiny_tokens)
+        pruned = make_executor(
+            tiny_network, ExecutionMode.ZERO_PRUNE, zero_prune_fraction=0.0
+        ).run_batch(tiny_tokens)
+        np.testing.assert_allclose(pruned.logits, base.logits, atol=1e-12)
+
+    def test_pruning_perturbs_outputs(self, tiny_network, tiny_tokens):
+        base = make_executor(tiny_network).run_batch(tiny_tokens)
+        pruned = make_executor(
+            tiny_network, ExecutionMode.ZERO_PRUNE, zero_prune_fraction=0.6
+        ).run_batch(tiny_tokens)
+        assert not np.allclose(pruned.logits, base.logits)
+
+
+class TestKernelTraces:
+    @pytest.mark.parametrize(
+        "mode,kwargs",
+        [
+            (ExecutionMode.BASELINE, {}),
+            (ExecutionMode.INTER, {"alpha_inter": 1e12}),
+            (ExecutionMode.INTRA, {"alpha_intra": 0.2}),
+            (ExecutionMode.COMBINED, {"alpha_inter": 1e12, "alpha_intra": 0.2}),
+            (ExecutionMode.ZERO_PRUNE, {}),
+        ],
+    )
+    def test_every_mode_produces_a_trace(self, calibrated_network, tiny_tokens, mode, kwargs):
+        executor = make_executor(calibrated_network, mode, **kwargs)
+        result = executor.run_batch(tiny_tokens[:1])
+        kernels = executor.kernel_trace(result.plans[0])
+        assert len(kernels) > 0
+        names = {k.name for k in kernels}
+        assert "sgemm" in names  # the per-layer Sgemm(W, x) is always there
+
+    def test_intra_trace_has_algorithm3_kernels(self, calibrated_network, tiny_tokens):
+        executor = make_executor(calibrated_network, ExecutionMode.INTRA, alpha_intra=0.2)
+        result = executor.run_batch(tiny_tokens[:1])
+        names = [k.name for k in executor.kernel_trace(result.plans[0])]
+        assert "drs" in names
+
+    def test_inter_trace_has_relevance_kernel(self, calibrated_network, tiny_tokens):
+        executor = make_executor(calibrated_network, ExecutionMode.INTER, alpha_inter=1e-300)
+        result = executor.run_batch(tiny_tokens[:1])
+        names = [k.name for k in executor.kernel_trace(result.plans[0])]
+        assert "relevance" in names

@@ -1,0 +1,69 @@
+"""Tests for the result export helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import dump_json, sweep_to_csv, to_jsonable
+from repro.core.executor import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.workloads.apps import WorkloadEvaluation
+
+
+def make_eval(index=1):
+    return WorkloadEvaluation(
+        app_name="X",
+        mode=ExecutionMode.COMBINED,
+        threshold_index=index,
+        alpha_inter=1.5,
+        alpha_intra=0.1,
+        accuracy=0.99,
+        speedup=2.0,
+        energy_saving=0.4,
+        mean_tissue_size=2.5,
+        mean_skip_fraction=0.5,
+        mean_breakpoints=3.0,
+        mean_time=1e-3,
+        mean_energy=1e-2,
+    )
+
+
+class TestToJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        out = to_jsonable({"a": np.float64(1.5), "b": np.arange(3)})
+        assert out == {"a": 1.5, "b": [0, 1, 2]}
+
+    def test_dataclass_and_enum(self):
+        out = to_jsonable(make_eval())
+        assert out["mode"] == "combined"
+        assert out["speedup"] == 2.0
+
+    def test_nested_containers(self):
+        out = to_jsonable({"x": [make_eval(), {"y": (1, 2)}]})
+        assert out["x"][1]["y"] == [1, 2]
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_jsonable(object())
+
+
+class TestDumpJson:
+    def test_round_trip(self, tmp_path):
+        path = dump_json({"sweep": [make_eval(i) for i in range(3)]}, tmp_path / "r.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded["sweep"]) == 3
+        assert loaded["sweep"][2]["threshold_index"] == 2
+
+
+class TestSweepCsv:
+    def test_header_and_rows(self, tmp_path):
+        text = sweep_to_csv([make_eval(0), make_eval(1)], tmp_path / "s.csv")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("threshold_index,alpha_inter")
+        assert len(lines) == 3
+        assert (tmp_path / "s.csv").exists()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_to_csv([])

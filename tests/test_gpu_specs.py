@@ -1,0 +1,50 @@
+"""Tests for the GPU platform specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import GPUSpec, TEGRA_X1, TESLA_M40
+
+
+class TestTegraX1:
+    def test_table1_values(self):
+        assert TEGRA_X1.num_sms * TEGRA_X1.cores_per_sm == 256
+        assert TEGRA_X1.clock_hz == 998e6
+        assert TEGRA_X1.dram_bandwidth == 25.6e9
+
+    def test_peak_flops(self):
+        # 256 cores x 2 (FMA) x 998 MHz ~= 511 GFLOP/s
+        assert TEGRA_X1.peak_flops == pytest.approx(511e9, rel=0.01)
+
+    def test_effective_bandwidth_below_peak(self):
+        assert TEGRA_X1.effective_dram_bandwidth < TEGRA_X1.dram_bandwidth
+
+    def test_shared_bandwidth_far_exceeds_dram(self):
+        """The premise of the MTS analysis: a large on-chip/off-chip ratio."""
+        assert TEGRA_X1.shared_bandwidth > 5 * TEGRA_X1.dram_bandwidth
+
+    def test_onchip_traffic_grows_with_hidden(self):
+        assert TEGRA_X1.onchip_traffic_per_flop(650) > TEGRA_X1.onchip_traffic_per_flop(256)
+
+
+class TestTeslaM40:
+    def test_larger_than_mobile(self):
+        assert TESLA_M40.peak_flops > 5 * TEGRA_X1.peak_flops
+        assert TESLA_M40.l2_bytes > TEGRA_X1.l2_bytes
+        assert TESLA_M40.dram_bandwidth > TEGRA_X1.dram_bandwidth
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(TEGRA_X1, num_sms=0)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(TEGRA_X1, dram_efficiency=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TEGRA_X1.clock_hz = 1

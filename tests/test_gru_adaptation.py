@@ -1,0 +1,110 @@
+"""Tests for the GRU adjustment of relevance and row skipping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.activations import sigmoid
+from repro.nn.gru import GRU_GATE_ORDER, GRUCellWeights, gru_cell_step
+from repro.nn.initializers import WeightInitializer
+from repro.core.gru_adaptation import (
+    gru_compression_ratio,
+    gru_recurrent_row_ranges,
+    gru_relevance_values,
+    gru_trivial_row_mask,
+)
+
+H, E, T = 10, 8, 6
+
+
+def weights_and_proj(seed=0, scale=1.0):
+    w = GRUCellWeights.initialize(H, E, WeightInitializer(seed))
+    xs = np.random.default_rng(seed + 1).normal(size=(T, E)) * scale
+    proj = {g: xs @ getattr(w, f"w_{g}").T for g in GRU_GATE_ORDER}
+    return w, proj
+
+
+class TestRowRanges:
+    def test_l1_norms(self):
+        w, _ = weights_and_proj()
+        ranges = gru_recurrent_row_ranges(w)
+        for g in GRU_GATE_ORDER:
+            np.testing.assert_allclose(
+                ranges[g], np.abs(getattr(w, f"u_{g}")).sum(axis=1)
+            )
+
+
+class TestRelevance:
+    def test_shape_and_bounds(self):
+        w, proj = weights_and_proj()
+        s = gru_relevance_values(w, proj)
+        assert s.shape == (T,)
+        assert np.all(s >= 0)
+
+    def test_saturated_update_gate_severs_link(self):
+        """z saturated at 1 everywhere -> old state fully discarded -> S=0."""
+        w, _ = weights_and_proj()
+        for g in GRU_GATE_ORDER:
+            setattr(w, f"u_{g}", np.zeros((H, H)))
+            setattr(w, f"b_{g}", np.zeros(H))
+        proj = {g: np.full((T, H), 50.0) for g in GRU_GATE_ORDER}
+        np.testing.assert_allclose(gru_relevance_values(w, proj), 0.0)
+
+    def test_saturation_semantics_match_cell(self):
+        """When the relevance says the link is severed, replacing h_{t-1}
+        must not change the cell output (the end-to-end guarantee)."""
+        w, _ = weights_and_proj()
+        for g in GRU_GATE_ORDER:
+            setattr(w, f"u_{g}", np.zeros((H, H)))
+        # Drive z hard to 1 via the bias; r/n unconstrained.
+        w.b_z = np.full(H, 50.0)
+        x = np.random.default_rng(3).normal(size=E)
+        out_a = gru_cell_step(w, x, np.zeros(H))
+        out_b = gru_cell_step(w, x, np.random.default_rng(4).normal(size=H) * 0.5)
+        np.testing.assert_allclose(out_a, out_b, atol=1e-10)
+
+    def test_missing_gate_rejected(self):
+        w, proj = weights_and_proj()
+        del proj["n"]
+        with pytest.raises(ShapeError):
+            gru_relevance_values(w, proj)
+
+    def test_more_saturation_weakens_links(self):
+        w, proj_small = weights_and_proj(scale=0.5)
+        _, proj_large = weights_and_proj(scale=8.0)
+        assert (
+            gru_relevance_values(w, proj_large).mean()
+            < gru_relevance_values(w, proj_small).mean()
+        )
+
+
+class TestGRUDRS:
+    def test_mask_threshold(self):
+        z = np.array([0.01, 0.5, 0.04])
+        np.testing.assert_array_equal(
+            gru_trivial_row_mask(z, 0.05), [True, False, True]
+        )
+
+    def test_zero_alpha_disables(self):
+        assert not gru_trivial_row_mask(np.zeros(4), 0.0).any()
+
+    def test_skip_consistency_with_cell(self):
+        """Rows the mask marks trivial keep h almost unchanged when skipped."""
+        w = GRUCellWeights.initialize(H, E, WeightInitializer(2))
+        w.b_z -= 3.0  # close most update gates
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=E)
+        h = rng.normal(size=H) * 0.3
+        z = sigmoid(x @ w.w_z.T + h @ w.u_z.T + w.b_z)
+        mask = gru_trivial_row_mask(z, 0.05)
+        exact = gru_cell_step(w, x, h)
+        skipped = gru_cell_step(w, x, h, skip_rows=mask)
+        # Trivial rows: |h_new - h_old| <= alpha * 2, and skipping keeps h_old.
+        assert np.max(np.abs(skipped[mask] - exact[mask])) < 0.12
+
+    def test_compression_ceiling_is_two_thirds(self):
+        full = [np.ones(H, dtype=bool)]
+        assert gru_compression_ratio(full) == pytest.approx(2.0 / 3.0)
+
+    def test_compression_empty(self):
+        assert gru_compression_ratio([]) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the seeded weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.initializers import WeightInitializer
+
+
+class TestReproducibility:
+    def test_same_seed_same_weights(self):
+        a = WeightInitializer(42).xavier_uniform(16, 8)
+        b = WeightInitializer(42).xavier_uniform(16, 8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_weights(self):
+        a = WeightInitializer(1).xavier_uniform(16, 8)
+        b = WeightInitializer(2).xavier_uniform(16, 8)
+        assert not np.allclose(a, b)
+
+
+class TestXavier:
+    def test_shape(self):
+        assert WeightInitializer(0).xavier_uniform(5, 7).shape == (5, 7)
+
+    def test_limit(self):
+        mat = WeightInitializer(0).xavier_uniform(50, 50)
+        limit = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(mat) <= limit)
+
+    def test_gain_scales(self):
+        base = WeightInitializer(0).xavier_uniform(50, 50)
+        gained = WeightInitializer(0).xavier_uniform(50, 50, gain=2.0)
+        np.testing.assert_allclose(gained, 2.0 * base)
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            WeightInitializer(0).xavier_uniform(0, 5)
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self):
+        q = WeightInitializer(3).orthogonal(32, 32)
+        np.testing.assert_allclose(q @ q.T, np.eye(32), atol=1e-10)
+
+    def test_tall_has_orthonormal_columns(self):
+        q = WeightInitializer(3).orthogonal(40, 16)
+        np.testing.assert_allclose(q.T @ q, np.eye(16), atol=1e-10)
+
+    def test_wide_has_orthonormal_rows(self):
+        q = WeightInitializer(3).orthogonal(16, 40)
+        np.testing.assert_allclose(q @ q.T, np.eye(16), atol=1e-10)
+
+    def test_gain(self):
+        q = WeightInitializer(3).orthogonal(16, 16, gain=3.0)
+        np.testing.assert_allclose(q @ q.T, 9.0 * np.eye(16), atol=1e-9)
+
+
+class TestBias:
+    def test_constant(self):
+        np.testing.assert_array_equal(
+            WeightInitializer(0).bias(5, value=1.5), np.full(5, 1.5)
+        )
+
+    def test_jitter_spreads(self):
+        b = WeightInitializer(0).bias(1000, value=0.0, jitter=0.5)
+        assert 0.4 < b.std() < 0.6
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            WeightInitializer(0).bias(0)

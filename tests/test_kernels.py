@@ -1,0 +1,85 @@
+"""Tests for the kernel workload descriptors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpu.kernels import (
+    FP32,
+    KernelLaunch,
+    drs_kernel,
+    elementwise_kernel,
+    relevance_kernel,
+    sgemm_kernel,
+    sgemv_kernel,
+)
+
+
+class TestKernelLaunch:
+    def test_dram_read_bytes_sums_weights_and_streams(self):
+        k = KernelLaunch(name="x", flops=1, weight_bytes=100, stream_read_bytes=20)
+        assert k.dram_read_bytes == 120
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(name="x", flops=-1)
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(name="x", flops=1, warp_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(name="x", flops=1, gather_efficiency=2.0)
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(name="x", flops=1, threads=0)
+
+
+class TestSgemv:
+    def test_full_matrix(self):
+        k = sgemv_kernel(64, 32, onchip_per_flop=4.0)
+        assert k.flops == 2 * 64 * 32
+        assert k.weight_bytes == 64 * 32 * FP32
+        assert k.threads == 64
+
+    def test_row_skipping_scales_everything(self):
+        full = sgemv_kernel(64, 32, 4.0)
+        half = sgemv_kernel(64, 32, 4.0, weight_bytes=full.weight_bytes / 2)
+        assert half.flops == pytest.approx(full.flops / 2)
+        assert half.write_bytes == pytest.approx(full.write_bytes / 2)
+
+    @given(st.integers(1, 512), st.integers(1, 512))
+    def test_flops_bytes_relation(self, rows, cols):
+        k = sgemv_kernel(rows, cols, 4.0)
+        # 2 flops per weight element; 4 bytes per element.
+        assert k.flops * 2 == pytest.approx(k.weight_bytes)
+
+
+class TestSgemm:
+    def test_batch_scales_flops_not_weights(self):
+        one = sgemm_kernel(64, 32, 1, 4.0)
+        four = sgemm_kernel(64, 32, 4, 4.0)
+        assert four.flops == pytest.approx(4 * one.flops)
+        assert four.weight_bytes == one.weight_bytes
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigurationError):
+            sgemm_kernel(8, 8, 0, 4.0)
+
+    def test_onchip_traffic_proportional_to_flops(self):
+        k = sgemm_kernel(64, 32, 4, onchip_per_flop=3.0)
+        assert k.onchip_bytes == pytest.approx(3.0 * k.flops)
+
+
+class TestSmallKernels:
+    def test_elementwise_scales_with_gates(self):
+        one = elementwise_kernel(128, gates=1)
+        four = elementwise_kernel(128, gates=4)
+        assert four.flops > one.flops
+        assert four.stream_read_bytes > one.stream_read_bytes
+
+    def test_drs_kernel_reads_o_vector(self):
+        k = drs_kernel(256)
+        assert k.stream_read_bytes == 256 * FP32
+        assert k.name == "drs"
+
+    def test_relevance_kernel_scales_with_layer(self):
+        small = relevance_kernel(64, 10)
+        large = relevance_kernel(64, 100)
+        assert large.flops == pytest.approx(10 * small.flops)

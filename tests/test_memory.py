@@ -1,0 +1,82 @@
+"""Tests for the L2 inter-kernel reuse model."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.memory import L2Model
+from repro.gpu.specs import TEGRA_X1
+
+CAP = L2Model(TEGRA_X1).effective_capacity
+
+
+@pytest.fixture
+def l2():
+    return L2Model(TEGRA_X1)
+
+
+class TestColdLoads:
+    def test_first_use_is_full_load(self, l2):
+        assert l2.weight_traffic("U", 1000.0) == 1000.0
+
+    def test_anonymous_weights_never_cached(self, l2):
+        assert l2.weight_traffic(None, 1000.0) == 1000.0
+        assert l2.weight_traffic(None, 1000.0) == 1000.0
+
+    def test_zero_bytes(self, l2):
+        assert l2.weight_traffic("U", 0.0) == 0.0
+
+
+class TestResidency:
+    def test_small_tensor_stays_resident(self, l2):
+        small = CAP / 4
+        assert l2.weight_traffic("U", small) == small
+        assert l2.weight_traffic("U", small) == 0.0
+
+    def test_cyclic_thrashing_for_large_tensors(self, l2):
+        """A tensor bigger than the cache gets ZERO reuse under LRU — the
+        Fig. 5 per-cell full re-load."""
+        big = CAP * 1.2
+        assert l2.weight_traffic("U", big) == big
+        assert l2.weight_traffic("U", big) == big
+
+    def test_streaming_evicts(self, l2):
+        small = CAP / 4
+        l2.weight_traffic("U", small)
+        l2.account_streaming(CAP)  # churn the whole cache
+        assert l2.weight_traffic("U", small) == small
+
+    def test_partial_eviction_still_binary(self, l2):
+        """Below-capacity interleave leaves the small tensor resident."""
+        small = CAP / 4
+        l2.weight_traffic("U", small)
+        l2.account_streaming(CAP / 2)
+        assert l2.weight_traffic("U", small) == 0.0
+
+    def test_other_weight_loads_evict(self, l2):
+        small = CAP / 3
+        l2.weight_traffic("A", small)
+        l2.weight_traffic("B", CAP)  # streams through, evicting A
+        assert l2.weight_traffic("A", small) == small
+
+    def test_resize_invalidates(self, l2):
+        l2.weight_traffic("U", CAP / 4)
+        # Same id, different size: treated as a new tensor.
+        assert l2.weight_traffic("U", CAP / 8) == CAP / 8
+
+    def test_reset(self, l2):
+        small = CAP / 4
+        l2.weight_traffic("U", small)
+        l2.reset()
+        assert l2.weight_traffic("U", small) == small
+
+
+class TestCapacity:
+    def test_effective_capacity_below_physical(self, l2):
+        assert l2.effective_capacity < TEGRA_X1.l2_bytes
+
+    def test_zero_residency_spec(self):
+        spec = dataclasses.replace(TEGRA_X1, l2_residency_efficiency=0.0)
+        model = L2Model(spec)
+        model.weight_traffic("U", 10.0)
+        assert model.weight_traffic("U", 10.0) == 10.0

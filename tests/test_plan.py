@@ -1,0 +1,82 @@
+"""Tests for the execution-plan records."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord
+from repro.errors import PlanError
+
+
+def make_record(seq_length=4, tissue_sizes=(2, 2), skips=(0.5, 0.0)):
+    tissues = []
+    t = 0
+    for size, skip in zip(tissue_sizes, skips):
+        cells = [(0, t + k) for k in range(size)]
+        t += size
+        tissues.append(TissueRecord(cells=cells, skip_fraction=skip))
+    return LayerPlanRecord(
+        layer_index=0,
+        hidden_size=8,
+        input_size=8,
+        seq_length=seq_length,
+        sublayer_lengths=[seq_length],
+        tissues=tissues,
+    )
+
+
+class TestTissueRecord:
+    def test_size(self):
+        assert TissueRecord(cells=[(0, 0), (1, 3)]).size == 2
+
+
+class TestLayerPlanRecord:
+    def test_stats(self):
+        rec = make_record()
+        assert rec.num_tissues == 2
+        assert rec.mean_tissue_size == 2.0
+        assert rec.mean_skip_fraction == pytest.approx(0.25)
+
+    def test_num_sublayers_defaults_to_one(self):
+        rec = make_record()
+        rec.sublayer_lengths = []
+        assert rec.num_sublayers == 1
+
+    def test_validate_passes_for_complete_coverage(self):
+        make_record().validate()
+
+    def test_validate_detects_missing_cells(self):
+        rec = make_record()
+        rec.tissues.pop()
+        with pytest.raises(PlanError):
+            rec.validate()
+
+    def test_validate_detects_inconsistent_sublayers(self):
+        rec = make_record()
+        rec.sublayer_lengths = [1, 1]
+        with pytest.raises(PlanError):
+            rec.validate()
+
+    def test_empty_tissue_stats(self):
+        rec = LayerPlanRecord(
+            layer_index=0, hidden_size=4, input_size=4, seq_length=1
+        )
+        assert rec.mean_tissue_size == 0.0
+        assert rec.mean_skip_fraction == 0.0
+
+
+class TestSequencePlan:
+    def test_aggregates(self):
+        plan = SequencePlan(layers=[make_record(), make_record()])
+        assert plan.total_breakpoints == 0
+        assert plan.mean_tissue_size == 2.0
+        assert plan.mean_skip_fraction == pytest.approx(0.25)
+
+    def test_breakpoints_counted(self):
+        rec = make_record()
+        rec.breakpoints = [2]
+        plan = SequencePlan(layers=[rec])
+        assert plan.total_breakpoints == 1
+
+    def test_empty_plan(self):
+        plan = SequencePlan(layers=[])
+        assert plan.mean_tissue_size == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the zero-pruning baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.nn.initializers import WeightInitializer
+from repro.nn.lstm_cell import LSTMCellWeights
+from repro.nn.pruning import prune_cell_weights, zero_prune
+
+
+def matrix(seed=0, shape=(32, 32)):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestZeroPrune:
+    def test_fraction_removed(self):
+        result = zero_prune(matrix(), prune_fraction=0.4)
+        assert result.kept_fraction == pytest.approx(0.6, abs=0.02)
+
+    def test_threshold_mode(self):
+        m = matrix()
+        result = zero_prune(m, threshold=0.5)
+        assert np.all(np.abs(result.pruned[result.pruned != 0]) >= 0.5)
+
+    def test_zero_fraction_keeps_everything(self):
+        m = matrix()
+        result = zero_prune(m, prune_fraction=0.0)
+        np.testing.assert_array_equal(result.pruned, m)
+        assert result.kept_fraction == 1.0
+
+    def test_smallest_elements_pruned_first(self):
+        m = matrix()
+        result = zero_prune(m, prune_fraction=0.3)
+        removed = np.abs(m[~result.mask])
+        kept = np.abs(m[result.mask])
+        assert removed.max() <= kept.min() + 1e-12
+
+    def test_storage_accounting(self):
+        m = matrix(shape=(16, 16))
+        result = zero_prune(m, prune_fraction=0.5)
+        nnz = int(result.mask.sum())
+        expected = nnz * 4 + (256 + 7) // 8 + 17 * 4
+        assert result.sparse_bytes == expected
+        assert result.dense_bytes == 256 * 4
+
+    def test_compression_ratio(self):
+        result = zero_prune(matrix(), prune_fraction=0.37)
+        assert result.compression_ratio == pytest.approx(0.37, abs=0.02)
+
+    def test_argument_validation(self):
+        with pytest.raises(ConfigurationError):
+            zero_prune(matrix())
+        with pytest.raises(ConfigurationError):
+            zero_prune(matrix(), prune_fraction=0.2, threshold=0.1)
+        with pytest.raises(ConfigurationError):
+            zero_prune(matrix(), prune_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            zero_prune(np.zeros(5), prune_fraction=0.1)
+
+    @given(st.floats(0.0, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_data_movement_reduction_monotone(self, fraction):
+        a = zero_prune(matrix(), prune_fraction=fraction)
+        b = zero_prune(matrix(), prune_fraction=min(0.99, fraction + 0.04))
+        assert b.sparse_bytes <= a.sparse_bytes
+
+
+class TestPruneCellWeights:
+    def test_only_recurrent_matrices_pruned(self):
+        w = LSTMCellWeights.initialize(16, 12, WeightInitializer(0))
+        pruned, stats = prune_cell_weights(w, 0.4)
+        np.testing.assert_array_equal(pruned.w_f, w.w_f)
+        assert (pruned.u_f == 0).sum() > (w.u_f == 0).sum()
+        assert stats.kept_fraction == pytest.approx(0.6, abs=0.05)
+
+    def test_united_threshold_shared_across_gates(self):
+        """The aggregate quantile sets one threshold for all four gates."""
+        w = LSTMCellWeights.initialize(16, 12, WeightInitializer(1))
+        pruned, stats = prune_cell_weights(w, 0.4)
+        for gate in "fico":
+            mat = getattr(pruned, f"u_{gate}")
+            nonzero = np.abs(mat[mat != 0])
+            assert nonzero.min() >= stats.threshold - 1e-12

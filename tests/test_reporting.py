@@ -1,0 +1,46 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [123.456]])
+        assert "0.123" in out and "123" in out
+
+    def test_row_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestSeries:
+    def test_two_rows(self):
+        out = format_series("S", [1, 2, 3], [4.0, 5.0, 6.0])
+        lines = out.splitlines()
+        assert lines[0] == "S"
+        assert len(lines) == 3
+
+    def test_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            format_series("S", [1], [1, 2])
+
+    def test_custom_labels(self):
+        out = format_series("S", [1], [2], x_label="tissue", y_label="perf")
+        assert "tissue" in out and "perf" in out

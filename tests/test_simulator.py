@@ -1,0 +1,181 @@
+"""Tests for the analytical timing simulator and the trace containers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.kernels import KernelLaunch, elementwise_kernel, sgemm_kernel, sgemv_kernel
+from repro.gpu.simulator import TimingSimulator
+from repro.gpu.specs import TEGRA_X1, TESLA_M40
+
+
+def big_sgemv(hidden=512):
+    return sgemv_kernel(
+        4 * hidden, hidden, TEGRA_X1.onchip_traffic_per_flop(hidden), weight_id="U"
+    )
+
+
+@pytest.fixture
+def sim():
+    return TimingSimulator(TEGRA_X1)
+
+
+class TestRooflines:
+    def test_big_sgemv_is_dram_bound(self, sim):
+        stats = sim.run_kernel(big_sgemv())
+        assert stats.t_dram > stats.t_compute
+        assert stats.t_dram > stats.t_onchip
+        assert stats.exec_time == pytest.approx(stats.t_dram)
+
+    def test_dram_bound_time_matches_bandwidth(self, sim):
+        k = big_sgemv()
+        stats = sim.run_kernel(k)
+        expected = k.dram_read_bytes + k.write_bytes
+        assert stats.t_dram == pytest.approx(expected / TEGRA_X1.effective_dram_bandwidth)
+
+    def test_launch_overhead_included(self, sim):
+        stats = sim.run_kernel(elementwise_kernel(8))
+        assert stats.time >= TEGRA_X1.kernel_launch_overhead_s
+
+    def test_warp_efficiency_slows_compute(self, sim):
+        k_full = dataclasses.replace(big_sgemv(), warp_efficiency=1.0)
+        k_half = dataclasses.replace(big_sgemv(), warp_efficiency=0.5)
+        assert sim.run_kernel(k_half).t_compute == pytest.approx(
+            2 * sim.run_kernel(k_full).t_compute
+        )
+
+    def test_gather_efficiency_slows_dram(self, sim):
+        slow = dataclasses.replace(big_sgemv(), gather_efficiency=0.5)
+        fast = big_sgemv()
+        sim.reset()
+        t_fast = sim.run_kernel(fast).t_dram
+        sim.reset()
+        t_slow = sim.run_kernel(slow).t_dram
+        assert t_slow == pytest.approx(2 * t_fast)
+
+    def test_onchip_bound_kernel_pays_reconfiguration(self, sim):
+        # A tissue Sgemm with a huge batch oversubscribes shared memory.
+        k = sgemm_kernel(
+            4 * 512, 512, 16, TEGRA_X1.onchip_traffic_per_flop(512), weight_id="U"
+        )
+        stats = sim.run_kernel(k)
+        assert stats.t_onchip > stats.t_dram
+        assert stats.exec_time > stats.t_onchip  # penalty applied
+
+    def test_crm_overhead_applied(self, sim):
+        plain = big_sgemv()
+        with_crm = dataclasses.replace(plain, uses_crm=True)
+        sim.reset()
+        t_plain = sim.run_kernel(plain).exec_time
+        sim.reset()
+        t_crm = sim.run_kernel(with_crm).exec_time
+        assert t_crm == pytest.approx(t_plain * (1 + TEGRA_X1.crm_time_overhead))
+
+
+class TestL2Integration:
+    def test_big_weights_reload_every_launch(self, sim):
+        trace = sim.run_trace([big_sgemv(), big_sgemv()])
+        assert trace.kernels[1].dram_bytes == pytest.approx(trace.kernels[0].dram_bytes)
+
+    def test_small_weights_cached_across_launches(self, sim):
+        small = sgemv_kernel(32, 32, 4.0, weight_id="U")
+        trace = sim.run_trace([small, small])
+        assert trace.kernels[1].dram_bytes < trace.kernels[0].dram_bytes
+
+    def test_cold_start_resets_cache(self, sim):
+        small = sgemv_kernel(32, 32, 4.0, weight_id="U")
+        sim.run_trace([small])
+        trace = sim.run_trace([small], cold_start=True)
+        assert trace.kernels[0].dram_bytes == pytest.approx(
+            small.dram_read_bytes + small.write_bytes
+        )
+
+
+class TestStallAttribution:
+    def test_memory_bound_kernel_blames_off_chip(self, sim):
+        stats = sim.run_kernel(big_sgemv())
+        total = sum(stats.stall_cycles.values())
+        assert stats.stall_cycles["off_chip_memory"] / total > 0.7
+
+    def test_all_categories_present(self, sim):
+        stats = sim.run_kernel(big_sgemv())
+        assert set(stats.stall_cycles) == {
+            "off_chip_memory",
+            "on_chip_memory",
+            "synchronization",
+            "other",
+        }
+
+
+class TestTraceSummary:
+    def test_empty_trace_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.run_trace([])
+
+    def test_totals(self, sim):
+        trace = sim.run_trace([big_sgemv(), elementwise_kernel(512)])
+        assert trace.total_time == pytest.approx(sum(k.time for k in trace.kernels))
+        assert trace.num_launches == 2
+
+    def test_time_fraction(self, sim):
+        trace = sim.run_trace([big_sgemv(), elementwise_kernel(512)])
+        assert trace.time_fraction("sgemv") + trace.time_fraction("lstm_ew") == pytest.approx(1.0)
+
+    def test_speedup_and_energy_saving(self, sim):
+        slow = sim.run_trace([big_sgemv()] * 4)
+        fast = sim.run_trace([big_sgemv()])
+        assert slow.speedup_vs(slow) == pytest.approx(1.0)
+        assert fast.speedup_vs(slow) == pytest.approx(4.0, rel=0.05)
+        assert 0 < fast.energy_saving_vs(slow) < 1
+
+    def test_utilizations_bounded(self, sim):
+        trace = sim.run_trace([big_sgemv(), elementwise_kernel(16)])
+        assert 0 <= trace.mean_utilization("dram") <= 1
+        assert 0 <= trace.mean_utilization("onchip") <= 1
+
+    def test_unknown_utilization_kind(self, sim):
+        trace = sim.run_trace([big_sgemv()])
+        with pytest.raises(SimulationError):
+            trace.mean_utilization("astral")
+
+    def test_stall_breakdown_normalized(self, sim):
+        trace = sim.run_trace([big_sgemv(), elementwise_kernel(16)])
+        breakdown = trace.stall_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+class TestEnergy:
+    def test_energy_annotated(self, sim):
+        stats = sim.run_kernel(big_sgemv())
+        assert stats.energy > 0
+        assert set(stats.energy_parts) == {"static", "compute", "dram", "onchip", "launch", "crm"}
+        assert stats.energy == pytest.approx(sum(stats.energy_parts.values()))
+
+    def test_crm_energy_only_with_crm(self, sim):
+        plain = sim.run_kernel(big_sgemv())
+        assert plain.energy_parts["crm"] == 0.0
+        crm = sim.run_kernel(dataclasses.replace(big_sgemv(), uses_crm=True))
+        assert crm.energy_parts["crm"] > 0.0
+
+    def test_dram_energy_proportional_to_bytes(self, sim):
+        stats = sim.run_kernel(big_sgemv())
+        assert stats.energy_parts["dram"] == pytest.approx(
+            stats.dram_bytes * TEGRA_X1.energy_per_dram_byte
+        )
+
+
+class TestLargeGPU:
+    def test_m40_is_faster(self):
+        mobile = TimingSimulator(TEGRA_X1).run_kernel(big_sgemv())
+        server = TimingSimulator(TESLA_M40).run_kernel(big_sgemv())
+        assert server.exec_time < mobile.exec_time
+
+    def test_m40_caches_mobile_sized_weights(self):
+        """On the M40 a 1 MB united matrix fits in L2 — the Section II-C
+        reason the inter-cell problem is mobile specific."""
+        small_u = sgemv_kernel(4 * 256, 256, 4.0, weight_id="U")
+        sim = TimingSimulator(TESLA_M40)
+        trace = sim.run_trace([small_u, small_u])
+        assert trace.kernels[1].dram_bytes < 0.2 * trace.kernels[0].dram_bytes

@@ -1,0 +1,112 @@
+"""Tests for threshold schedules and the AO/BPA selection schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thresholds import (
+    NUM_THRESHOLD_SETS,
+    ThresholdSchedule,
+    ThresholdSet,
+    select_ao,
+    select_bpa,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThresholdSet:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSet(index=-1, alpha_inter=0, alpha_intra=0)
+        with pytest.raises(ConfigurationError):
+            ThresholdSet(index=0, alpha_inter=-1, alpha_intra=0)
+
+
+class TestSchedule:
+    def test_eleven_sets(self):
+        schedule = ThresholdSchedule(100.0)
+        assert len(schedule) == NUM_THRESHOLD_SETS
+
+    def test_set0_is_baseline(self):
+        s0 = ThresholdSchedule(100.0, 0.5)[0]
+        assert s0.alpha_inter == 0.0 and s0.alpha_intra == 0.0
+
+    def test_last_set_is_maximum(self):
+        schedule = ThresholdSchedule(100.0, 0.5)
+        assert schedule[10].alpha_inter == 100.0
+        assert schedule[10].alpha_intra == 0.5
+
+    def test_monotone(self):
+        schedule = ThresholdSchedule(100.0, 0.5)
+        inters = [s.alpha_inter for s in schedule]
+        intras = [s.alpha_intra for s in schedule]
+        assert inters == sorted(inters)
+        assert intras == sorted(intras)
+
+    def test_from_values(self):
+        schedule = ThresholdSchedule.from_values([0, 1, 5], [0, 0.1, 0.5])
+        assert schedule[1].alpha_inter == 1.0
+        assert schedule.alpha_inter_max == 5.0
+
+    def test_from_values_rejects_non_monotone(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSchedule.from_values([0, 5, 1], [0, 0.1, 0.5])
+
+    def test_from_values_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSchedule.from_values([0, 1], [0, 0.1, 0.2])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSchedule(-1.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdSchedule(1.0, count=1)
+
+
+class TestAO:
+    def test_picks_most_aggressive_within_budget(self):
+        acc = np.array([1.0, 1.0, 0.99, 0.97, 0.90])
+        assert select_ao(acc, 0.98) == 2
+
+    def test_baseline_always_qualifies(self):
+        acc = np.array([1.0, 0.5, 0.4])
+        assert select_ao(acc, 0.98) == 0
+
+    def test_non_monotone_accuracy(self):
+        """AO takes the *last* qualifying set, even past a dip."""
+        acc = np.array([1.0, 0.97, 0.99, 0.90])
+        assert select_ao(acc, 0.98) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            select_ao(np.array([]), 0.98)
+
+    @given(st.lists(st.floats(0.5, 1.0), min_size=1, max_size=11))
+    def test_selection_meets_target_or_is_zero(self, accs):
+        acc = np.array(accs)
+        idx = select_ao(acc, 0.98)
+        assert idx == 0 or acc[idx] >= 0.98
+
+
+class TestBPA:
+    def test_maximizes_product(self):
+        acc = np.array([1.0, 0.95, 0.80])
+        speed = np.array([1.0, 2.0, 2.1])
+        assert select_bpa(acc, speed) == 1
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            select_bpa(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 1.0), st.floats(0.5, 5.0)),
+            min_size=1,
+            max_size=11,
+        )
+    )
+    def test_product_is_max(self, pairs):
+        acc = np.array([p[0] for p in pairs])
+        speed = np.array([p[1] for p in pairs])
+        idx = select_bpa(acc, speed)
+        assert (acc * speed)[idx] == pytest.approx(np.max(acc * speed))

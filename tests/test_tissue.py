@@ -1,0 +1,128 @@
+"""Tests for tissue formation, alignment, and MTS calibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.breakpoints import SubLayer, divide_layer
+from repro.core.tissue import (
+    align_tissues,
+    calibrate_mts,
+    form_tissues,
+    minimum_tissues,
+    validate_schedule,
+)
+from repro.errors import PlanError
+from repro.gpu.specs import TEGRA_X1
+
+
+def paper_example_sublayers():
+    """The Fig. 8 example: a 9-cell layer divided into four sub-layers
+    [0..2], [3], [4..6], [7..8]."""
+    return [SubLayer(0, 3), SubLayer(3, 4), SubLayer(4, 7), SubLayer(7, 9)]
+
+
+class TestFormTissues:
+    def test_paper_example(self):
+        """Fig. 8(b1): naive formation yields fat then thin tissues."""
+        tissues = form_tissues(paper_example_sublayers())
+        assert [t.timestamps() for t in tissues] == [[0, 3, 4, 7], [1, 5, 8], [2, 6]]
+
+    def test_single_sublayer_gives_singletons(self):
+        tissues = form_tissues([SubLayer(0, 4)])
+        assert [t.size for t in tissues] == [1, 1, 1, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            form_tissues([])
+
+
+class TestAlignTissues:
+    def test_respects_mts(self):
+        tissues = align_tissues(paper_example_sublayers(), mts=3)
+        assert all(t.size <= 3 for t in tissues)
+
+    def test_schedule_is_valid(self):
+        subs = paper_example_sublayers()
+        tissues = align_tissues(subs, mts=3)
+        validate_schedule(subs, tissues, mts=3)
+
+    def test_covers_all_cells(self):
+        subs = paper_example_sublayers()
+        tissues = align_tissues(subs, mts=2)
+        covered = sorted(t for tissue in tissues for t in tissue.timestamps())
+        assert covered == list(range(9))
+
+    def test_reaches_minimum_tissue_count(self):
+        """The LPT rule should achieve the Eq. 7 lower bound here."""
+        subs = paper_example_sublayers()
+        tissues = align_tissues(subs, mts=3)
+        assert len(tissues) == minimum_tissues(subs, 3)
+
+    def test_mts_one_serializes(self):
+        subs = paper_example_sublayers()
+        tissues = align_tissues(subs, mts=1)
+        assert len(tissues) == 9
+
+    def test_invalid_mts(self):
+        with pytest.raises(PlanError):
+            align_tissues(paper_example_sublayers(), mts=0)
+
+    @given(
+        st.integers(2, 50),
+        st.sets(st.integers(1, 49), max_size=12),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_always_valid(self, length, raw_breaks, mts):
+        breaks = sorted(b for b in raw_breaks if b < length)
+        subs = divide_layer(length, breaks)
+        tissues = align_tissues(subs, mts)
+        validate_schedule(subs, tissues, mts)
+
+    @given(
+        st.integers(2, 50),
+        st.sets(st.integers(1, 49), max_size=12),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_achieves_lower_bound(self, length, raw_breaks, mts):
+        """LPT over chains with unit tasks achieves max(longest, ceil(N/m))."""
+        breaks = sorted(b for b in raw_breaks if b < length)
+        subs = divide_layer(length, breaks)
+        tissues = align_tissues(subs, mts)
+        assert len(tissues) == minimum_tissues(subs, mts)
+
+
+class TestValidateSchedule:
+    def test_detects_capacity_violation(self):
+        subs = [SubLayer(0, 2), SubLayer(2, 4)]
+        tissues = form_tissues(subs)  # width 2
+        with pytest.raises(PlanError):
+            validate_schedule(subs, tissues, mts=1)
+
+    def test_detects_missing_cell(self):
+        subs = [SubLayer(0, 3)]
+        tissues = align_tissues(subs, 1)[:-1]
+        with pytest.raises(PlanError):
+            validate_schedule(subs, tissues, mts=1)
+
+    def test_detects_order_violation(self):
+        subs = [SubLayer(0, 2)]
+        tissues = align_tissues(subs, 1)
+        tissues.reverse()
+        with pytest.raises(PlanError):
+            validate_schedule(subs, tissues, mts=1)
+
+
+class TestMTSCalibration:
+    def test_realistic_range(self):
+        """The TX1 knee sits at 5-6 for Table II hidden sizes (Fig. 9)."""
+        for hidden in (256, 512, 650):
+            mts = calibrate_mts(TEGRA_X1, hidden)
+            assert 4 <= mts <= 7
+
+    def test_minimum_tissues_formula(self):
+        subs = [SubLayer(0, 10), SubLayer(10, 12)]
+        # total 12, longest 10, mts 4 -> max(10, 3) = 10
+        assert minimum_tissues(subs, 4) == 10
+        assert minimum_tissues(subs, 1) == 12

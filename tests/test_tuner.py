@@ -1,0 +1,101 @@
+"""Tests for the offline calibration (Fig. 10 operations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuner import (
+    OfflineCalibration,
+    calibrate_offline,
+    collect_relevance_samples,
+    find_alpha_inter_max,
+    fit_predicted_links,
+    accuracy_guided_index,
+)
+from repro.errors import CalibrationError
+
+
+def synthetic_samples(weak_fraction=0.2, seq=40, layers=6, seed=0):
+    """Relevance arrays with a clear weak/strong bimodal structure."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(layers):
+        s = rng.normal(1000.0, 30.0, size=seq)
+        weak = rng.random(seq) < weak_fraction
+        s[weak] = rng.normal(50.0, 10.0, size=int(weak.sum()))
+        samples.append(np.abs(s))
+    return samples
+
+
+class TestAlphaSearch:
+    def test_threshold_separates_modes(self):
+        samples = synthetic_samples(weak_fraction=0.4)
+        alpha = find_alpha_inter_max(samples, mts=4)
+        # Breaking the weak mode suffices; the threshold should sit between
+        # the modes rather than deep into the strong one.
+        assert 50.0 < alpha < 1000.0
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            find_alpha_inter_max([], mts=4)
+
+    def test_short_layers_fall_back_to_best(self):
+        """When N_min is unreachable the search returns the best achievable
+        threshold instead of failing."""
+        samples = [np.full(3, 100.0)]
+        alpha = find_alpha_inter_max(samples, mts=8)
+        assert alpha > 0
+
+
+class TestCollection:
+    def test_relevance_samples_per_sequence_and_layer(self, tiny_app, tiny_tokens):
+        samples = collect_relevance_samples(tiny_app.network, tiny_tokens)
+        assert len(samples) == tiny_tokens.shape[0] * tiny_app.network.num_layers
+        for s in samples:
+            assert s.shape == (tiny_tokens.shape[1],)
+
+    def test_predicted_links_per_layer(self, tiny_app, tiny_tokens):
+        links = fit_predicted_links(tiny_app.network, tiny_tokens)
+        assert len(links) == tiny_app.network.num_layers
+        hidden = tiny_app.network.config.hidden_size
+        assert all(l.hidden_size == hidden for l in links)
+
+    def test_predicted_links_are_sane(self, tiny_app, tiny_tokens):
+        links = fit_predicted_links(tiny_app.network, tiny_tokens)
+        for link in links:
+            assert np.all(np.abs(link.h_bar) <= 1.0)
+            assert np.all(np.isfinite(link.c_bar))
+
+
+class TestCalibrateOffline:
+    def test_full_calibration(self, tiny_app_config, calibrated_network, tiny_tokens):
+        calibration = calibrate_offline(calibrated_network, tiny_tokens)
+        assert calibration.mts >= 1
+        assert calibration.alpha_inter_max > 0
+        assert len(calibration.predicted_links) == calibrated_network.num_layers
+
+    def test_explicit_mts_respected(self, calibrated_network, tiny_tokens):
+        calibration = calibrate_offline(calibrated_network, tiny_tokens, mts=3)
+        assert calibration.mts == 3
+
+    def test_schedule_shape(self, calibrated_network, tiny_tokens):
+        calibration = calibrate_offline(calibrated_network, tiny_tokens, mts=3)
+        schedule = calibration.schedule()
+        assert len(schedule) == 11
+        assert schedule[0].alpha_inter == 0.0
+        assert schedule[10].alpha_inter == pytest.approx(calibration.alpha_inter_max)
+        inters = [s.alpha_inter for s in schedule]
+        assert inters == sorted(inters)
+
+    def test_quadratic_intra_spacing(self, calibrated_network, tiny_tokens):
+        calibration = calibrate_offline(calibrated_network, tiny_tokens, mts=3)
+        schedule = calibration.schedule()
+        # Quadratic: the first step is far smaller than the last step.
+        step_first = schedule[1].alpha_intra - schedule[0].alpha_intra
+        step_last = schedule[10].alpha_intra - schedule[9].alpha_intra
+        assert step_first < step_last / 5
+
+
+class TestAccuracyGuided:
+    def test_wraps_ao(self):
+        acc = np.array([1.0, 0.99, 0.95])
+        assert accuracy_guided_index(acc, 0.98) == 1

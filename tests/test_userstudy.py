@@ -1,0 +1,125 @@
+"""Tests for the user-study simulation (Fig. 18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.workloads.apps import WorkloadEvaluation
+from repro.workloads.userstudy import (
+    Participant,
+    ReplayProgram,
+    SchemeExperience,
+    UserStudy,
+    sample_participants,
+)
+
+
+def make_eval(speedup, accuracy, index):
+    return WorkloadEvaluation(
+        app_name="X",
+        mode=ExecutionMode.COMBINED,
+        threshold_index=index,
+        alpha_inter=float(index),
+        alpha_intra=float(index) / 20,
+        accuracy=accuracy,
+        speedup=speedup,
+        energy_saving=0.1,
+        mean_tissue_size=1.0,
+        mean_skip_fraction=0.0,
+        mean_breakpoints=0.0,
+        mean_time=1.0 / speedup,
+        mean_energy=1.0,
+    )
+
+
+@pytest.fixture
+def sweep():
+    speeds = [1.0, 1.3, 1.6, 1.9, 2.2, 2.5, 2.8, 3.0, 3.2, 3.4, 3.6]
+    accs = [1.0, 1.0, 0.995, 0.99, 0.985, 0.97, 0.95, 0.92, 0.88, 0.84, 0.80]
+    return [make_eval(s, a, i) for i, (s, a) in enumerate(zip(speeds, accs))]
+
+
+class TestExperience:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SchemeExperience("x", delay_ratio=0.0, accuracy=0.9)
+        with pytest.raises(ConfigurationError):
+            SchemeExperience("x", delay_ratio=1.0, accuracy=1.5)
+
+
+class TestParticipants:
+    def test_panel_size(self):
+        assert len(sample_participants()) == 30
+
+    def test_seeded(self):
+        a = sample_participants(seed=3)
+        b = sample_participants(seed=3)
+        assert a[0] == b[0]
+
+    def test_heterogeneous(self):
+        panel = sample_participants(seed=0)
+        prefs = {p.speed_preference for p in panel}
+        assert len(prefs) == len(panel)
+
+    def test_ratings_in_scale(self):
+        p = sample_participants(seed=1)[0]
+        rng = np.random.default_rng(0)
+        exp = SchemeExperience("x", delay_ratio=0.4, accuracy=0.9)
+        for _ in range(20):
+            assert 1 <= p.satisfaction(exp, rng) <= 5
+
+    def test_faster_is_better_below_threshold(self):
+        p = Participant(speed_preference=1.0, loss_aversion=0.1, perception_threshold=0.02)
+        slow = SchemeExperience("s", delay_ratio=1.0, accuracy=1.0)
+        fast = SchemeExperience("f", delay_ratio=0.5, accuracy=0.99)
+        assert p.expected_satisfaction(fast) > p.expected_satisfaction(slow)
+
+    def test_visible_loss_hurts(self):
+        p = Participant(speed_preference=1.0, loss_aversion=0.15, perception_threshold=0.02)
+        mild = SchemeExperience("m", delay_ratio=0.5, accuracy=0.99)
+        harsh = SchemeExperience("h", delay_ratio=0.4, accuracy=0.80)
+        assert p.expected_satisfaction(mild) > p.expected_satisfaction(harsh)
+
+
+class TestReplayProgram:
+    def test_experiences_match_sweep(self, sweep):
+        replay = ReplayProgram(sweep)
+        exps = replay.experiences
+        assert len(exps) == len(sweep)
+        assert exps[0].delay_ratio == pytest.approx(1.0)
+        assert exps[5].delay_ratio == pytest.approx(1 / 2.5)
+
+    def test_uo_choice_maximizes_utility(self, sweep):
+        replay = ReplayProgram(sweep)
+        p = Participant(speed_preference=1.2, loss_aversion=0.08, perception_threshold=0.02)
+        choice = replay.uo_choice(p)
+        utilities = [p.expected_satisfaction(e) for e in replay.experiences]
+        assert p.expected_satisfaction(choice) == pytest.approx(max(utilities))
+
+    def test_needs_sweep(self):
+        with pytest.raises(ConfigurationError):
+            ReplayProgram([])
+
+
+class TestUserStudy:
+    def test_fig18_ordering(self, sweep):
+        """The paper's Fig. 18 shape: UO >= AO > baseline, BPA < UO."""
+        replay = ReplayProgram(sweep)
+        study = UserStudy(replay, seed=5)
+        result = study.run(ao_index=4, bpa_index=9)
+        scores = result.scores
+        assert scores["AO"] > scores["baseline"]
+        assert scores["UO"] >= scores["AO"] - 0.05
+        assert scores["UO"] > scores["BPA"]
+
+    def test_scores_in_scale(self, sweep):
+        result = UserStudy(ReplayProgram(sweep), seed=5).run(4, 9)
+        for score in result.scores.values():
+            assert 1.0 <= score <= 5.0
+
+    def test_per_participant_shapes(self, sweep):
+        study = UserStudy(ReplayProgram(sweep), seed=5)
+        result = study.run(4, 9)
+        for arr in result.per_participant.values():
+            assert arr.shape == (len(study.participants),)

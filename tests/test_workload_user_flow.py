@@ -1,0 +1,88 @@
+"""Cross-module flow tests: threshold selection drives the user study.
+
+Exercises the Fig. 19 -> Fig. 18 pipeline on a tiny workload: sweep, AO /
+BPA selection, replay construction, and the study's qualitative ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AppConfig, LSTMConfig, TaskFamily
+from repro.core.executor import ExecutionMode
+from repro.core.pipeline import OptimizedLSTM
+from repro.workloads.apps import Workload
+from repro.workloads.datasets import build_dataset
+from repro.workloads.userstudy import ReplayProgram, UserStudy
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cfg = AppConfig(
+        name="FLOW",
+        family=TaskFamily.SENTIMENT_CLASSIFICATION,
+        model=LSTMConfig(hidden_size=96, num_layers=1, seq_length=20),
+        vocab_size=300,
+        num_classes=2,
+    )
+    app = OptimizedLSTM.from_app(cfg, seed=2)
+    app.calibrate(num_sequences=5)
+    dataset = build_dataset(app, 12, seed=3, confidence_keep=0.7)
+    return Workload(app, dataset, "FLOW")
+
+
+@pytest.fixture(scope="module")
+def sweep(workload):
+    return workload.threshold_sweep(ExecutionMode.COMBINED)
+
+
+class TestSweepShape:
+    def test_eleven_points(self, sweep):
+        assert len(sweep) == 11
+
+    def test_speedup_trend(self, sweep):
+        speeds = [e.speedup for e in sweep]
+        assert speeds[0] == 1.0
+        assert speeds[-1] > speeds[0]
+        assert np.mean(np.diff(speeds)) > 0
+
+    def test_accuracy_trend(self, sweep):
+        accs = [e.accuracy for e in sweep]
+        assert accs[0] == 1.0
+        assert accs[-1] <= accs[0]
+
+    def test_ao_meets_target(self, workload, sweep):
+        ao = Workload.ao_index(sweep)
+        assert sweep[ao].accuracy >= 0.98 or ao == 0
+
+    def test_bpa_at_product_max(self, workload, sweep):
+        bpa = Workload.bpa_index(sweep)
+        products = [e.speedup * e.accuracy for e in sweep]
+        assert products[bpa] == max(products)
+
+
+class TestStudyFromSweep:
+    def test_uo_dominates_every_fixed_scheme(self, workload, sweep):
+        """UO optimizes per user, so (up to rating noise) it can never lose
+        to any fixed scheme — even on a workload whose trade-off curve is
+        unfavorable (this tiny model's weights are L2-resident, so the
+        approximations cost accuracy without buying speed, and the
+        rational choice for most users is the baseline itself)."""
+        replay = ReplayProgram(sweep)
+        study = UserStudy(replay, seed=11)
+        result = study.run(
+            ao_index=Workload.ao_index(sweep), bpa_index=Workload.bpa_index(sweep)
+        )
+        scores = result.scores
+        best_fixed = max(scores["baseline"], scores["AO"], scores["BPA"])
+        assert scores["UO"] >= best_fixed - 0.1
+
+    def test_uo_choice_is_utility_optimal_per_user(self, sweep):
+        from repro.workloads.userstudy import sample_participants
+
+        replay = ReplayProgram(sweep)
+        for participant in sample_participants(seed=1)[:5]:
+            choice = replay.uo_choice(participant)
+            best = max(
+                participant.expected_satisfaction(e) for e in replay.experiences
+            )
+            assert participant.expected_satisfaction(choice) == pytest.approx(best)
