@@ -16,11 +16,15 @@ from repro.bench.harness import ExperimentContext
 
 _REPORTS: list[tuple[str, str]] = []
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_CTX: ExperimentContext | None = None
 
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext()
+    global _CTX
+    if _CTX is None:
+        _CTX = ExperimentContext()
+    return _CTX
 
 
 @pytest.fixture(scope="session")
@@ -36,11 +40,16 @@ def record_report():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _REPORTS:
+    if not _REPORTS and _CTX is None:
         return
     terminalreporter.section("paper reproduction reports")
     for name, text in _REPORTS:
         terminalreporter.write_line("")
         terminalreporter.write_line(f"===== {name} =====")
         for line in text.splitlines():
+            terminalreporter.write_line(line)
+    if _CTX is not None:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("===== plan cache =====")
+        for line in _CTX.cache_report().splitlines():
             terminalreporter.write_line(line)

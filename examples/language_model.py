@@ -44,7 +44,7 @@ def main() -> None:
     layers = app_config.model.num_layers
     print(
         f"  weight re-load amplification: {sgemv_bytes / (layers * weight_bytes):.0f}x "
-        f"the matrix size per layer pass (Fig. 5's ~100x observation; "
+        "the matrix size per layer pass (Fig. 5's ~100x observation; "
         f"one load per cell x {app_config.model.seq_length} cells)"
     )
 

@@ -19,7 +19,7 @@ def main() -> None:
     workload = build_workload("IMDB", seed=0, num_sequences=24)
     print(
         f"  dataset: {workload.dataset.num_sequences} confidently-decided "
-        f"reviews, teacher = exact network"
+        "reviews, teacher = exact network"
     )
 
     print("\nThreshold sweep (combined system, Fig. 19 row):")

@@ -36,6 +36,7 @@ from repro.config import (
 )
 from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
 from repro.core.pipeline import InferenceOutcome, OptimizedLSTM
+from repro.core.plan import PlanCache, PlanCacheStats
 from repro.core.thresholds import ThresholdSchedule, ThresholdSet
 from repro.core.tuner import OfflineCalibration, calibrate_offline
 from repro.gpu.simulator import TimingSimulator
@@ -57,6 +58,8 @@ __all__ = [
     "LSTMNetwork",
     "OfflineCalibration",
     "OptimizedLSTM",
+    "PlanCache",
+    "PlanCacheStats",
     "TABLE2_APPS",
     "TEGRA_X1",
     "TESLA_M40",

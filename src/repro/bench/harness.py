@@ -16,12 +16,13 @@ import numpy as np
 
 from repro.config import APP_NAMES, TABLE2_APPS, USER_IMPERCEPTIBLE_ACCURACY
 from repro.core.executor import ExecutionMode
+from repro.core.plan import PlanCache
 from repro.core.trace_builder import forced_tissue_layer_trace
 from repro.gpu.simulator import TimingSimulator
 from repro.gpu.specs import GPUSpec, TEGRA_X1
 from repro.workloads.apps import Workload, WorkloadEvaluation, build_workload
 from repro.workloads.userstudy import ReplayProgram, UserStudy, sample_participants
-from repro.bench.reporting import format_series, format_table
+from repro.bench.reporting import format_cache_stats, format_series, format_table
 
 #: Sequences used when a figure needs kernel traces (stall/bandwidth/layer
 #: breakdowns) — traces are deterministic per sequence, so few are needed.
@@ -47,6 +48,7 @@ class ExperimentContext:
     seed: int = 0
     spec: GPUSpec = TEGRA_X1
     target_accuracy: float = USER_IMPERCEPTIBLE_ACCURACY
+    plan_cache: PlanCache = field(default_factory=PlanCache)
     _workloads: dict[str, Workload] = field(default_factory=dict)
     _sweeps: dict[tuple, list[WorkloadEvaluation]] = field(default_factory=dict)
     _tuned_combined: dict[str, WorkloadEvaluation] = field(default_factory=dict)
@@ -55,8 +57,14 @@ class ExperimentContext:
         """Build (once) and return one application workload."""
         key = name.upper()
         if key not in self._workloads:
-            self._workloads[key] = build_workload(key, seed=self.seed, spec=self.spec)
+            self._workloads[key] = build_workload(
+                key, seed=self.seed, spec=self.spec, plan_cache=self.plan_cache
+            )
         return self._workloads[key]
+
+    def cache_report(self) -> str:
+        """Rendered hit/miss statistics of the session's shared plan cache."""
+        return format_cache_stats(self.plan_cache.stats)
 
     def sweep(
         self, name: str, mode: ExecutionMode, drs_style: str = "hardware"
@@ -406,7 +414,13 @@ def fig16_compression_schemes(ctx: ExperimentContext | None = None, apps=None):
     }
     for scheme, m in means.items():
         rows.append(
-            ("MEAN", scheme, f"{m['compression']:.1%}", f"{m['speedup']:.2f}x", f"{m['energy_saving']:.1%}")
+            (
+                "MEAN",
+                scheme,
+                f"{m['compression']:.1%}",
+                f"{m['speedup']:.2f}x",
+                f"{m['energy_saving']:.1%}",
+            )
         )
     report = format_table(
         ["App", "Scheme", "Compression", "Speedup", "Energy saving"],
@@ -574,10 +588,10 @@ def overheads_section6f(ctx: ExperimentContext | None = None, apps=None):
         )
         for name, d in data.items()
     ]
-    means = [
-        f"{np.mean([d[k] for d in data.values()]):.2%}"
-        for k in ("inter_time", "inter_energy", "intra_time", "intra_energy", "crm_time", "crm_energy")
-    ]
+    mean_keys = (
+        "inter_time", "inter_energy", "intra_time", "intra_energy", "crm_time", "crm_energy"
+    )
+    means = [f"{np.mean([d[k] for d in data.values()]):.2%}" for k in mean_keys]
     rows.append(("MEAN", *means))
     return data, format_table(
         ["App", "inter t", "inter E", "intra t", "intra E", "CRM t", "CRM E"],

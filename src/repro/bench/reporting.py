@@ -8,8 +8,12 @@ paper is a column-by-column read.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.core.plan import PlanCacheStats
 
 
 def format_table(
@@ -21,7 +25,9 @@ def format_table(
         if len(row) != len(headers):
             raise ConfigurationError("row width does not match headers")
     widths = [
-        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
         for i in range(len(headers))
     ]
     lines = []
@@ -47,6 +53,23 @@ def format_series(
     line_x = f"{x_label.ljust(label_w)}: " + "  ".join(c.rjust(w) for c, w in zip(cells_x, widths))
     line_y = f"{y_label.ljust(label_w)}: " + "  ".join(c.rjust(w) for c, w in zip(cells_y, widths))
     return f"{name}\n{line_x}\n{line_y}"
+
+
+def format_cache_stats(stats: "PlanCacheStats") -> str:
+    """Render one plan cache's hit/miss counters as a small table."""
+    rows = [
+        (
+            "relevance",
+            stats.relevance_hits,
+            stats.relevance_misses,
+            f"{stats.relevance_hit_rate:.1%}",
+        ),
+        ("plan", stats.plan_hits, stats.plan_misses, f"{stats.plan_hit_rate:.1%}"),
+    ]
+    table = format_table(
+        ["Store", "Hits", "Misses", "Hit rate"], rows, title="Plan cache"
+    )
+    return f"{table}\nevictions: {stats.evictions}"
 
 
 def _fmt(value: object) -> str:

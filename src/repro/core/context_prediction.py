@@ -35,7 +35,7 @@ class PredictedLink:
     def __post_init__(self) -> None:
         if self.h_bar.ndim != 1 or self.h_bar.shape != self.c_bar.shape:
             raise ShapeError(
-                f"predicted link vectors must be 1-D and equal-shaped, got "
+                "predicted link vectors must be 1-D and equal-shaped, got "
                 f"{self.h_bar.shape} and {self.c_bar.shape}"
             )
 

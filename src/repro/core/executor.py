@@ -1,4 +1,4 @@
-"""Numerically exact execution of every evaluated LSTM scheme.
+"""Numerically exact, batched execution of every evaluated LSTM scheme.
 
 The executor runs the *actual arithmetic* of each scheme (so accuracy
 results are measured, not modeled) while recording the structural plan that
@@ -18,10 +18,27 @@ timing results come from the simulator). Modes:
 * ``ZERO_PRUNE`` — the Fig. 16 baseline: magnitude-pruned ``U`` matrices,
   otherwise the baseline flow.
 
-Batched execution across sequences is used wherever the schedule allows it;
-the combined mode (whose tissue composition differs per sequence) falls
-back to a per-sequence tissue-ordered walk that is numerically identical to
-the hardware's concurrent execution.
+Two levels of batching keep the hot paths vectorized:
+
+* **Gate fusion.** Every mode drives the recurrence through the *united*
+  matrices: one ``(B, H) @ (H, 4H)`` GEMM per timestep (stepwise modes) or
+  per tissue (combined mode) replaces the four per-gate GEMMs, and one
+  ``(B, T, E) @ (E, 4H)`` GEMM per layer replaces the four input
+  projections. The fused products are sliced per gate before the
+  activations, which is bit-identical to the per-gate computation.
+* **Plan grouping.** Combined-mode sequences whose structural plan
+  (breakpoints + aligned tissue schedule) is identical execute *together*:
+  each tissue step becomes a single stacked ``(G, k, H) @ (H, 4H)`` matmul
+  across the group instead of ``G`` separate per-sequence products.
+
+Both transformations are bit-compatible with the seed per-sequence walk
+(preserved as :class:`repro.core.reference.ReferenceExecutor`); the
+equivalence is property-tested in ``tests/test_executor_equivalence.py``.
+
+Structural planning (relevance -> breakpoints -> aligned tissues) can be
+memoized across runs through an optional :class:`~repro.core.plan.
+PlanCache` — the benchmark harness shares one per session so threshold
+sweeps recompute no relevance array twice.
 """
 
 from __future__ import annotations
@@ -33,13 +50,21 @@ import numpy as np
 
 from repro.core.breakpoints import divide_layer, find_breakpoints
 from repro.core.context_prediction import PredictedLink
-from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord
+from repro.core.plan import (
+    CachedLayerPlan,
+    LayerPlanRecord,
+    PlanCache,
+    SequencePlan,
+    TissueRecord,
+    fingerprint_array,
+    fingerprint_weights,
+)
 from repro.core.relevance import (
     exact_relevance_values,
     recurrent_row_ranges,
     relevance_values,
 )
-from repro.core.tissue import align_tissues
+from repro.core.tissue import align_tissues, schedule_key
 from repro.core.trace_builder import build_kernel_trace
 from repro.errors import ConfigurationError, ShapeError
 from repro.gpu.specs import GPUSpec, TEGRA_X1
@@ -133,23 +158,59 @@ def _warp_skip_fractions(masks: np.ndarray, warp_size: int = 32) -> np.ndarray:
     return padded.reshape(masks.shape[:-1] + (n_warps, warp_size)).all(axis=-1).mean(axis=-1)
 
 
+@dataclass
+class _UnitedWeights:
+    """The fused-gate view of one layer's weights.
+
+    Rows follow :data:`~repro.nn.lstm_cell.GATE_ORDER` — ``(f, i, c, o)`` —
+    so ``slices[g]`` selects gate ``g`` out of a ``(..., 4H)`` product.
+    """
+
+    w: np.ndarray  # (4H, E)
+    u: np.ndarray  # (4H, H)
+    b: np.ndarray  # (4H,)
+    slices: dict[str, slice]
+
+    @classmethod
+    def from_weights(cls, weights: LSTMCellWeights) -> "_UnitedWeights":
+        hidden = weights.hidden_size
+        slices = {
+            gate: slice(k * hidden, (k + 1) * hidden)
+            for k, gate in enumerate(GATE_ORDER)
+        }
+        return cls(
+            w=weights.united_w(), u=weights.united_u(), b=weights.united_b(), slices=slices
+        )
+
+
 class LSTMExecutor:
-    """Executes an :class:`~repro.nn.network.LSTMNetwork` under one scheme."""
+    """Executes an :class:`~repro.nn.network.LSTMNetwork` under one scheme.
+
+    Args:
+        network: The network to execute.
+        config: The execution scheme and its thresholds.
+        predicted_links: Per-layer Eq. 6 context links (zeros by default).
+        plan_cache: Optional shared :class:`~repro.core.plan.PlanCache`;
+            when given, per-sequence relevance arrays and structural plans
+            are reused across executor instances and runs.
+    """
 
     def __init__(
         self,
         network: LSTMNetwork,
         config: ExecutionConfig,
         predicted_links: list[PredictedLink] | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.network = network
         self.config = config
+        self.plan_cache = plan_cache
         hidden = network.config.hidden_size
         if predicted_links is None:
             predicted_links = [PredictedLink.zeros(hidden) for _ in network.layers]
         if len(predicted_links) != len(network.layers):
             raise ConfigurationError(
-                f"need one predicted link per layer "
+                "need one predicted link per layer "
                 f"({len(network.layers)}), got {len(predicted_links)}"
             )
         self.predicted_links = predicted_links
@@ -169,6 +230,7 @@ class LSTMExecutor:
                 kept.append(aggregate.kept_fraction)
             self._weights = pruned
             self.pruning_kept_fraction = float(np.mean(kept))
+        self._united = [_UnitedWeights.from_weights(w) for w in self._weights]
 
     # ------------------------------------------------------------------ API
 
@@ -230,52 +292,99 @@ class LSTMExecutor:
     def _run_layer(
         self, layer_index: int, weights: LSTMCellWeights, xs: np.ndarray
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
-        proj = {g: xs @ weights.gate_w(g).T for g in GATE_ORDER}  # (B, T, H)
+        united = self._united[layer_index]
+        proj_u = xs @ united.w.T  # (B, T, 4H) — one fused input GEMM
         if self.config.mode is ExecutionMode.COMBINED:
-            return self._run_layer_combined(layer_index, weights, proj)
-        return self._run_layer_stepwise(layer_index, weights, proj)
+            plans = self._plan_inter(layer_index, weights, united, proj_u, xs)
+            return self._run_layer_combined(layer_index, weights, united, proj_u, plans)
+        return self._run_layer_stepwise(layer_index, weights, united, proj_u, xs)
 
     def _relevance(self, layer_index: int, weights, proj_b: dict[str, np.ndarray]):
         fn = exact_relevance_values if self.config.use_exact_relevance else relevance_values
         return fn(weights, proj_b, row_ranges=self._row_ranges[layer_index])
 
+    def _build_plan(
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        relevance: np.ndarray,
+        seq_len: int,
+    ) -> CachedLayerPlan:
+        breaks = find_breakpoints(relevance, self.config.alpha_inter)
+        sublayers = divide_layer(seq_len, breaks)
+        tissues = align_tissues(sublayers, self.config.mts)
+        return CachedLayerPlan(
+            relevance=relevance,
+            breakpoints=tuple(breaks),
+            sublayers=tuple(sublayers),
+            tissues=tuple(tissues),
+            signature=schedule_key(tissues),
+        )
+
     def _plan_inter(
-        self, layer_index: int, weights: LSTMCellWeights, proj: dict[str, np.ndarray]
-    ) -> tuple[list[np.ndarray], list[list], list[list]]:
-        """Per-sequence relevance, breakpoints, sub-layers and tissues."""
-        batch, seq_len, _ = proj["f"].shape
-        relevances, sublayers_all, tissues_all = [], [], []
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        united: _UnitedWeights,
+        proj_u: np.ndarray,
+        xs: np.ndarray,
+    ) -> list[CachedLayerPlan]:
+        """Per-sequence structural plans, served from the cache when wired."""
+        cfg = self.config
+        batch, seq_len, _ = proj_u.shape
+        proj = {g: proj_u[..., united.slices[g]] for g in GATE_ORDER}
+        cache = self.plan_cache
+        weights_fp = fingerprint_weights(weights) if cache is not None else None
+        plans = []
         for b in range(batch):
-            proj_b = {g: proj[g][b] for g in GATE_ORDER}
-            s = self._relevance(layer_index, weights, proj_b)
-            breaks = find_breakpoints(s, self.config.alpha_inter)
-            sublayers = divide_layer(seq_len, breaks)
-            tissues = align_tissues(sublayers, self.config.mts)
-            relevances.append(s)
-            sublayers_all.append(sublayers)
-            tissues_all.append(tissues)
-        return relevances, sublayers_all, tissues_all
+            def compute_relevance(b=b):
+                proj_b = {g: proj[g][b] for g in GATE_ORDER}
+                return self._relevance(layer_index, weights, proj_b)
+
+            if cache is None:
+                plans.append(
+                    self._build_plan(layer_index, weights, compute_relevance(), seq_len)
+                )
+                continue
+            relevance_key = (
+                "rel",
+                weights_fp,
+                fingerprint_array(xs[b]),
+                cfg.use_exact_relevance,
+            )
+            plan_key = relevance_key + (cfg.alpha_inter, cfg.mts, cfg.spec.name)
+            plans.append(
+                cache.layer_plan(
+                    plan_key,
+                    relevance_key,
+                    compute_relevance,
+                    lambda s: self._build_plan(layer_index, weights, s, seq_len),
+                )
+            )
+        return plans
 
     def _run_layer_stepwise(
-        self, layer_index: int, weights: LSTMCellWeights, proj: dict[str, np.ndarray]
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        united: _UnitedWeights,
+        proj_u: np.ndarray,
+        xs: np.ndarray,
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
-        """Batched timestep loop for every mode except COMBINED."""
+        """Fused-gate batched timestep loop for every mode except COMBINED."""
         cfg = self.config
-        batch, seq_len, hidden = proj["f"].shape
+        batch, seq_len, _ = proj_u.shape
+        hidden = weights.hidden_size
         link = self.predicted_links[layer_index]
+        sl = united.slices
 
         break_mask = np.zeros((batch, seq_len), dtype=bool)
-        relevances: list[np.ndarray | None] = [None] * batch
-        sublayers_all: list[list] = [[] for _ in range(batch)]
-        tissues_all: list[list] = [[] for _ in range(batch)]
+        plans: list[CachedLayerPlan] | None = None
         if cfg.inter_active:
-            rel, subs, tis = self._plan_inter(layer_index, weights, proj)
-            for b in range(batch):
-                relevances[b] = rel[b]
-                sublayers_all[b] = subs[b]
-                tissues_all[b] = tis[b]
-                for sub in subs[b][1:]:
-                    break_mask[b, sub.start] = True
+            plans = self._plan_inter(layer_index, weights, united, proj_u, xs)
+            for b, plan in enumerate(plans):
+                for start in plan.breakpoints:
+                    break_mask[b, start] = True
 
         h = np.zeros((batch, hidden))
         c = np.zeros((batch, hidden))
@@ -290,10 +399,13 @@ class LSTMExecutor:
                 h = np.where(reset, link.h_bar[None, :], h)
                 c = np.where(reset, link.c_bar[None, :], c)
 
-            o = sigmoid(proj["o"][:, t] + h @ weights.u_o.T + weights.b_o)
-            f = sigmoid(proj["f"][:, t] + h @ weights.u_f.T + weights.b_f)
-            i = sigmoid(proj["i"][:, t] + h @ weights.u_i.T + weights.b_i)
-            g = tanh(proj["c"][:, t] + h @ weights.u_c.T + weights.b_c)
+            # One (B, 4H) fused gate GEMM per timestep; per-gate slices are
+            # bit-identical to four separate (B, H) products.
+            pre = proj_u[:, t] + h @ united.u.T + united.b
+            o = sigmoid(pre[:, sl["o"]])
+            f = sigmoid(pre[:, sl["f"]])
+            i = sigmoid(pre[:, sl["i"]])
+            g = tanh(pre[:, sl["c"]])
             c = f * c + i * g
             if cfg.intra_active and cfg.alpha_intra > 0.0:
                 masks = o < cfg.alpha_intra  # (B, H)
@@ -313,9 +425,7 @@ class LSTMExecutor:
                     layer_index,
                     weights,
                     seq_len,
-                    sublayers_all[b],
-                    tissues_all[b],
-                    relevances[b],
+                    plans[b] if plans is not None else None,
                     skip_fracs[b],
                     warp_fracs[b],
                 )
@@ -327,15 +437,14 @@ class LSTMExecutor:
         layer_index: int,
         weights: LSTMCellWeights,
         seq_len: int,
-        sublayers: list,
-        tissues: list,
-        relevance: np.ndarray | None,
+        plan: CachedLayerPlan | None,
         skip_fracs: np.ndarray,
         warp_fracs: np.ndarray,
     ) -> LayerPlanRecord:
         if self.config.inter_active:
+            assert plan is not None
             tissue_records = []
-            for tissue in tissues:
+            for tissue in plan.tissues:
                 # Timestamp-resolved skip stats; the per-tissue shared-load
                 # fraction is the mean of the fused cells' fractions here
                 # because stepwise modes never intersect masks (INTER has
@@ -348,8 +457,9 @@ class LSTMExecutor:
                         warp_skip_fraction=float(np.mean([warp_fracs[t] for t in ts])),
                     )
                 )
-            breakpoints = [sub.start for sub in sublayers[1:]]
-            sublayer_lengths = [sub.length for sub in sublayers]
+            breakpoints = [sub.start for sub in plan.sublayers[1:]]
+            sublayer_lengths = [sub.length for sub in plan.sublayers]
+            relevance = plan.relevance
         else:
             tissue_records = [
                 TissueRecord(
@@ -361,6 +471,7 @@ class LSTMExecutor:
             ]
             breakpoints = []
             sublayer_lengths = [seq_len]
+            relevance = None
         return LayerPlanRecord(
             layer_index=layer_index,
             hidden_size=weights.hidden_size,
@@ -373,67 +484,90 @@ class LSTMExecutor:
         )
 
     def _run_layer_combined(
-        self, layer_index: int, weights: LSTMCellWeights, proj: dict[str, np.ndarray]
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        united: _UnitedWeights,
+        proj_u: np.ndarray,
+        plans: list[CachedLayerPlan],
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
-        """Per-sequence tissue-ordered walk (inter + intra together)."""
+        """Plan-grouped tissue-ordered walk (inter + intra together).
+
+        Sequences with an identical structural plan walk the schedule
+        *together*: each tissue step is one stacked ``(G, k, H) @ (H, 4H)``
+        matmul over the group, bit-identical to ``G`` independent
+        per-sequence ``(k, H)`` products (numpy dispatches the same GEMM
+        per leading-axis slice).
+        """
         cfg = self.config
-        batch, seq_len, hidden = proj["f"].shape
+        batch, seq_len, _ = proj_u.shape
+        hidden = weights.hidden_size
         link = self.predicted_links[layer_index]
         self._last_states = None  # combined mode does not collect states
-        relevances, sublayers_all, tissues_all = self._plan_inter(layer_index, weights, proj)
+        sl = united.slices
+
+        groups: dict[tuple, list[int]] = {}
+        for b, plan in enumerate(plans):
+            groups.setdefault(plan.signature, []).append(b)
 
         hs = np.empty((batch, seq_len, hidden))
-        records = []
-        for b in range(batch):
-            sublayers = sublayers_all[b]
-            tissues = tissues_all[b]
-            h_state = np.zeros((len(sublayers), hidden))
-            c_state = np.zeros((len(sublayers), hidden))
-            for sub_idx in range(1, len(sublayers)):
-                h_state[sub_idx] = link.h_bar
-                c_state[sub_idx] = link.c_bar
+        tissue_records: list[list[TissueRecord]] = [[] for _ in range(batch)]
+        for indices in groups.values():
+            plan = plans[indices[0]]
+            group = len(indices)
+            seq_idx = np.asarray(indices)
+            n_sub = len(plan.sublayers)
+            h_state = np.zeros((group, n_sub, hidden))
+            c_state = np.zeros((group, n_sub, hidden))
+            if n_sub > 1:
+                h_state[:, 1:] = link.h_bar
+                c_state[:, 1:] = link.c_bar
 
-            tissue_records = []
-            for tissue in tissues:
+            for tissue in plan.tissues:
                 subs = [s for s, _ in tissue.cells]
-                ts = [t for _, t in tissue.cells]
-                h_prev = h_state[subs]
-                c_prev = c_state[subs]
-                x_o = proj["o"][b, ts]
-                o = sigmoid(x_o + h_prev @ weights.u_o.T + weights.b_o)
-                skip_frac = 0.0
-                warp_frac = 0.0
-                f = sigmoid(proj["f"][b, ts] + h_prev @ weights.u_f.T + weights.b_f)
-                i = sigmoid(proj["i"][b, ts] + h_prev @ weights.u_i.T + weights.b_i)
-                g = tanh(proj["c"][b, ts] + h_prev @ weights.u_c.T + weights.b_c)
+                ts = np.asarray([t for _, t in tissue.cells])
+                h_prev = h_state[:, subs]  # (G, k, H)
+                c_prev = c_state[:, subs]
+                x = proj_u[seq_idx[:, None], ts[None, :]]  # (G, k, 4H)
+                pre = x + h_prev @ united.u.T + united.b
+                o = sigmoid(pre[..., sl["o"]])
+                f = sigmoid(pre[..., sl["f"]])
+                i = sigmoid(pre[..., sl["i"]])
+                g = tanh(pre[..., sl["c"]])
                 c_new = f * c_prev + i * g
+                skip = np.zeros(group)
+                warp = np.zeros(group)
                 if cfg.alpha_intra > 0.0:
-                    masks = o < cfg.alpha_intra  # (k, H)
-                    shared = masks.all(axis=0)  # the tissue's intersection
-                    c_new = np.where(shared[None, :], 0.0, c_new)
-                    skip_frac = float(shared.mean())
-                    warp_frac = float(_warp_skip_fractions(shared[None, :])[0])
+                    masks = o < cfg.alpha_intra  # (G, k, H)
+                    shared = masks.all(axis=1)  # per-sequence intersection
+                    c_new = np.where(shared[:, None, :], 0.0, c_new)
+                    skip = shared.mean(axis=1)
+                    warp = _warp_skip_fractions(shared)
                 h_new = o * tanh(c_new)
-                h_state[subs] = h_new
-                c_state[subs] = c_new
-                hs[b, ts] = h_new
-                tissue_records.append(
-                    TissueRecord(
-                        cells=list(tissue.cells),
-                        skip_fraction=skip_frac,
-                        warp_skip_fraction=warp_frac,
+                h_state[:, subs] = h_new
+                c_state[:, subs] = c_new
+                hs[seq_idx[:, None], ts[None, :]] = h_new
+                for gi, b in enumerate(indices):
+                    tissue_records[b].append(
+                        TissueRecord(
+                            cells=list(tissue.cells),
+                            skip_fraction=float(skip[gi]),
+                            warp_skip_fraction=float(warp[gi]),
+                        )
                     )
-                )
+
+        records = []
+        for b, plan in enumerate(plans):
             records.append(
                 LayerPlanRecord(
                     layer_index=layer_index,
                     hidden_size=hidden,
                     input_size=weights.input_size,
                     seq_length=seq_len,
-                    breakpoints=[sub.start for sub in sublayers[1:]],
-                    sublayer_lengths=[sub.length for sub in sublayers],
-                    tissues=tissue_records,
-                    relevance=relevances[b],
+                    breakpoints=[sub.start for sub in plan.sublayers[1:]],
+                    sublayer_lengths=[sub.length for sub in plan.sublayers],
+                    tissues=tissue_records[b],
+                    relevance=plan.relevance,
                 )
             )
         return hs, records

@@ -28,6 +28,7 @@ from repro.core.executor import (
     ExecutionResult,
     LSTMExecutor,
 )
+from repro.core.plan import PlanCache
 from repro.core.tuner import OfflineCalibration, calibrate_offline
 from repro.errors import CalibrationError, ConfigurationError
 from repro.gpu.simulator import TimingSimulator
@@ -84,21 +85,31 @@ class InferenceOutcome:
 class OptimizedLSTM:
     """Memory-friendly LSTM inference on a simulated mobile GPU."""
 
-    def __init__(self, network: LSTMNetwork, spec: GPUSpec = TEGRA_X1) -> None:
+    def __init__(
+        self,
+        network: LSTMNetwork,
+        spec: GPUSpec = TEGRA_X1,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
         self.network = network
         self.spec = spec
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.calibration: OfflineCalibration | None = None
         self._calibration_tokens: np.ndarray | None = None
         self._rng = np.random.default_rng(0xA11CE)
 
     @classmethod
     def from_app(
-        cls, app: str | AppConfig, seed: int = 0, spec: GPUSpec = TEGRA_X1
+        cls,
+        app: str | AppConfig,
+        seed: int = 0,
+        spec: GPUSpec = TEGRA_X1,
+        plan_cache: PlanCache | None = None,
     ) -> "OptimizedLSTM":
         """Build a Table II application from the calibrated model zoo."""
         app_config = get_app(app) if isinstance(app, str) else app
         network = build_calibrated_network(app_config, seed=seed)
-        instance = cls(network, spec=spec)
+        instance = cls(network, spec=spec, plan_cache=plan_cache)
         instance._app_config = app_config
         return instance
 
@@ -191,7 +202,9 @@ class OptimizedLSTM:
             zero_prune_fraction=zero_prune_fraction,
         )
         links = self.calibration.predicted_links if self.calibration is not None else None
-        executor = LSTMExecutor(self.network, config, predicted_links=links)
+        executor = LSTMExecutor(
+            self.network, config, predicted_links=links, plan_cache=self.plan_cache
+        )
         result = executor.run_batch(np.asarray(tokens))
 
         simulator = TimingSimulator(self.spec)

@@ -11,11 +11,20 @@ breakpoints and trivial-row counts, DeepBench replays them on the board.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import PlanError
+from repro.errors import ConfigurationError, PlanError
+
+if TYPE_CHECKING:
+    from repro.core.breakpoints import SubLayer
+    from repro.core.tissue import Tissue
+    from repro.nn.lstm_cell import LSTMCellWeights
 
 
 @dataclass
@@ -88,6 +97,203 @@ class LayerPlanRecord:
             )
         if self.sublayer_lengths and sum(self.sublayer_lengths) != self.seq_length:
             raise PlanError(f"layer {self.layer_index}: sub-layer lengths are inconsistent")
+
+
+@dataclass(frozen=True)
+class CachedLayerPlan:
+    """One layer's structural plan for one sequence, as cached/reused.
+
+    This is the *input-side* counterpart of :class:`LayerPlanRecord`: the
+    record describes what executed (including measured skip statistics);
+    the cached plan holds only what can be decided *before* execution —
+    relevance, breakpoints, sub-layers, and the aligned tissue schedule —
+    which is exactly the part that is identical across repeated runs of the
+    same sequence under the same configuration.
+
+    Attributes:
+        relevance: Per-timestep relevance ``S`` of shape ``(T,)``. Marked
+            read-only when served from a :class:`PlanCache` because many
+            plans/records may share it.
+        breakpoints: Sorted timestamps where the layer divides.
+        sublayers: The division (empty breakpoints -> one sub-layer).
+        tissues: The MTS-aligned tissue schedule.
+        signature: Hashable schedule key (:func:`repro.core.tissue.
+            schedule_key`); equal signatures mean structurally identical
+            execution, which is what the batched combined mode groups by.
+    """
+
+    relevance: np.ndarray
+    breakpoints: tuple[int, ...]
+    sublayers: tuple["SubLayer", ...]
+    tissues: tuple["Tissue", ...]
+    signature: tuple
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss counters of one :class:`PlanCache`."""
+
+    relevance_hits: int = 0
+    relevance_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def relevance_requests(self) -> int:
+        """Total relevance lookups."""
+        return self.relevance_hits + self.relevance_misses
+
+    @property
+    def plan_requests(self) -> int:
+        """Total plan lookups."""
+        return self.plan_hits + self.plan_misses
+
+    @property
+    def relevance_hit_rate(self) -> float:
+        """Fraction of relevance lookups served from cache."""
+        total = self.relevance_requests
+        return self.relevance_hits / total if total else 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Fraction of plan lookups served from cache."""
+        total = self.plan_requests
+        return self.plan_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict form (for JSON export and the bench reports)."""
+        return {
+            "relevance_hits": self.relevance_hits,
+            "relevance_misses": self.relevance_misses,
+            "relevance_hit_rate": self.relevance_hit_rate,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": self.plan_hit_rate,
+            "evictions": self.evictions,
+        }
+
+
+def fingerprint_array(array: np.ndarray) -> str:
+    """Content fingerprint of one ndarray (dtype + shape + bytes)."""
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def fingerprint_weights(weights: "LSTMCellWeights") -> str:
+    """Content fingerprint of one layer's cell weights, memoized.
+
+    The digest covers every gate's ``W``, ``U``, and ``b`` — anything that
+    can change a relevance value or a gate pre-activation. It is memoized on
+    the weights object (weights are immutable at inference time), so the
+    hashing cost is paid once per layer per process, not once per run.
+    """
+    cached = getattr(weights, "_plan_fingerprint", None)
+    if cached is not None:
+        return cached
+    from repro.nn.lstm_cell import GATE_ORDER
+
+    digest = hashlib.blake2b(digest_size=16)
+    for gate in GATE_ORDER:
+        for mat in (weights.gate_w(gate), weights.gate_u(gate), weights.gate_b(gate)):
+            digest.update(np.ascontiguousarray(mat).tobytes())
+    fingerprint = digest.hexdigest()
+    weights._plan_fingerprint = fingerprint
+    return fingerprint
+
+
+class PlanCache:
+    """Memoizes per-sequence structural planning across executions.
+
+    Planning a sequence costs a relevance pass (Algorithm 2) plus a
+    breakpoint search and an LPT tissue alignment — and the benchmark
+    harness re-executes the *same* token batches under dozens of
+    (mode, threshold) configurations, recomputing all of it each time.
+    The cache splits the work at its natural reuse boundaries:
+
+    * **relevance** is keyed on ``(weights fingerprint, layer-input
+      fingerprint, exact-variant flag)`` — it does not depend on any
+      threshold, so one entry serves every threshold set of a sweep;
+    * **plans** (breakpoints + sub-layers + aligned tissues) are keyed on
+      the relevance key extended with ``(alpha_inter, MTS, GPU spec)`` —
+      the full configuration that determines the structural schedule.
+
+    Both stores are bounded LRU maps; hit/miss counters are kept in
+    :attr:`stats` and rendered by :func:`repro.bench.reporting.
+    format_cache_stats`. A shared instance is carried by
+    :class:`repro.core.pipeline.OptimizedLSTM` and (session-wide) by
+    :class:`repro.bench.harness.ExperimentContext`.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._relevance: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._plans: OrderedDict[Hashable, CachedLayerPlan] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._relevance) + len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        self._relevance.clear()
+        self._plans.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        self.stats = PlanCacheStats()
+
+    def relevance(
+        self, key: Hashable, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Cached relevance lookup; ``compute`` runs only on a miss."""
+        hit = self._relevance.get(key)
+        if hit is not None:
+            self._relevance.move_to_end(key)
+            self.stats.relevance_hits += 1
+            return hit
+        self.stats.relevance_misses += 1
+        value = np.asarray(compute())
+        value.setflags(write=False)  # shared across plans and records
+        self._store(self._relevance, key, value)
+        return value
+
+    def layer_plan(
+        self,
+        plan_key: Hashable,
+        relevance_key: Hashable,
+        compute_relevance: Callable[[], np.ndarray],
+        build_plan: Callable[[np.ndarray], CachedLayerPlan],
+    ) -> CachedLayerPlan:
+        """Cached plan lookup with relevance-level fallthrough.
+
+        On a plan miss, the relevance store is consulted (and filled) before
+        ``build_plan`` runs — so sweeping thresholds over the same batch
+        misses the plan store but still reuses every relevance array.
+        """
+        hit = self._plans.get(plan_key)
+        if hit is not None:
+            self._plans.move_to_end(plan_key)
+            self.stats.plan_hits += 1
+            return hit
+        self.stats.plan_misses += 1
+        relevance = self.relevance(relevance_key, compute_relevance)
+        plan = build_plan(relevance)
+        self._store(self._plans, plan_key, plan)
+        return plan
+
+    def _store(self, store: OrderedDict, key: Hashable, value) -> None:
+        store[key] = value
+        store.move_to_end(key)
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+            self.stats.evictions += 1
 
 
 @dataclass

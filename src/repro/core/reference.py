@@ -1,0 +1,343 @@
+"""The seed executor, preserved verbatim as the equivalence oracle.
+
+:class:`ReferenceExecutor` is the original (pre-batching) implementation of
+:class:`repro.core.executor.LSTMExecutor`: per-gate recurrent GEMMs in the
+stepwise modes and a per-sequence tissue-ordered walk in the combined mode.
+It exists for two reasons:
+
+* **Equivalence testing** — the batched executor must produce *bit-identical*
+  ``h_t`` / ``c_t`` trajectories and identical :class:`~repro.core.plan.
+  SequencePlan` records (``tests/test_executor_equivalence.py`` asserts
+  this property across all five modes with hypothesis).
+* **Benchmark regression gating** — ``benchmarks/bench_executor_regression.py``
+  times the batched executor against this per-sequence walk on a fixed
+  workload and CI fails if the batched path stops being faster.
+
+The arithmetic in this module is intentionally frozen: do not "optimize" it.
+Any numerical change here silently weakens the equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.breakpoints import divide_layer, find_breakpoints
+from repro.core.context_prediction import PredictedLink
+from repro.core.executor import (
+    ExecutionConfig,
+    ExecutionMode,
+    ExecutionResult,
+    _warp_skip_fractions,
+)
+from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord
+from repro.core.relevance import (
+    exact_relevance_values,
+    recurrent_row_ranges,
+    relevance_values,
+)
+from repro.core.tissue import align_tissues
+from repro.core.trace_builder import build_kernel_trace
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.activations import sigmoid, tanh
+from repro.nn.lstm_cell import GATE_ORDER, LSTMCellWeights
+from repro.nn.network import LSTMNetwork
+from repro.nn.pruning import prune_cell_weights
+
+
+class ReferenceExecutor:
+    """The seed per-gate, per-sequence executor (see module docstring)."""
+
+    def __init__(
+        self,
+        network: LSTMNetwork,
+        config: ExecutionConfig,
+        predicted_links: list[PredictedLink] | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config
+        hidden = network.config.hidden_size
+        if predicted_links is None:
+            predicted_links = [PredictedLink.zeros(hidden) for _ in network.layers]
+        if len(predicted_links) != len(network.layers):
+            raise ConfigurationError(
+                f"need one predicted link per layer "
+                f"({len(network.layers)}), got {len(predicted_links)}"
+            )
+        self.predicted_links = predicted_links
+        self._row_ranges = [recurrent_row_ranges(layer.weights) for layer in network.layers]
+        self._weights: list[LSTMCellWeights] = [layer.weights for layer in network.layers]
+        self._collect_states = False
+        self._last_states: np.ndarray | None = None
+        self.pruning_kept_fraction: float | None = None
+        if config.mode is ExecutionMode.ZERO_PRUNE:
+            pruned = []
+            kept = []
+            for layer in network.layers:
+                new_weights, aggregate = prune_cell_weights(
+                    layer.weights, config.zero_prune_fraction
+                )
+                pruned.append(new_weights)
+                kept.append(aggregate.kept_fraction)
+            self._weights = pruned
+            self.pruning_kept_fraction = float(np.mean(kept))
+
+    # ------------------------------------------------------------------ API
+
+    def run_batch(self, tokens: np.ndarray, collect_states: bool = False) -> ExecutionResult:
+        """Execute a batch of token sequences, shape ``(B, T)``."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ShapeError(f"tokens must be (B, T), got shape {tokens.shape}")
+        batch, seq_len = tokens.shape
+        xs = self.network.embedding[tokens]  # (B, T, E)
+
+        plan_layers: list[list[LayerPlanRecord]] = [[] for _ in range(batch)]
+        layer_outputs: list[np.ndarray] = []
+        layer_states: list[np.ndarray] = []
+        self._collect_states = collect_states
+        for layer_index, weights in enumerate(self._weights):
+            xs, records = self._run_layer(layer_index, weights, xs)
+            layer_outputs.append(xs)
+            if collect_states and self._last_states is not None:
+                layer_states.append(self._last_states)
+            for b in range(batch):
+                plan_layers[b].append(records[b])
+
+        top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
+        logits = self.network.head_logits(top)
+        plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
+        return ExecutionResult(
+            logits=logits,
+            plans=plans,
+            layer_outputs=layer_outputs,
+            layer_states=layer_states,
+        )
+
+    def kernel_trace(self, plan: SequencePlan):
+        """GPU kernel trace of one executed sequence (for the simulator)."""
+        cfg = self.config
+        return build_kernel_trace(
+            plan,
+            cfg.spec,
+            inter=cfg.inter_active,
+            intra=cfg.intra_active,
+            drs_style=cfg.drs_style,
+            zero_prune_kept=(
+                self.pruning_kept_fraction
+                if cfg.mode is ExecutionMode.ZERO_PRUNE
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _run_layer(
+        self, layer_index: int, weights: LSTMCellWeights, xs: np.ndarray
+    ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
+        proj = {g: xs @ weights.gate_w(g).T for g in GATE_ORDER}  # (B, T, H)
+        if self.config.mode is ExecutionMode.COMBINED:
+            return self._run_layer_combined(layer_index, weights, proj)
+        return self._run_layer_stepwise(layer_index, weights, proj)
+
+    def _relevance(self, layer_index: int, weights, proj_b: dict[str, np.ndarray]):
+        fn = exact_relevance_values if self.config.use_exact_relevance else relevance_values
+        return fn(weights, proj_b, row_ranges=self._row_ranges[layer_index])
+
+    def _plan_inter(
+        self, layer_index: int, weights: LSTMCellWeights, proj: dict[str, np.ndarray]
+    ) -> tuple[list[np.ndarray], list[list], list[list]]:
+        """Per-sequence relevance, breakpoints, sub-layers and tissues."""
+        batch, seq_len, _ = proj["f"].shape
+        relevances, sublayers_all, tissues_all = [], [], []
+        for b in range(batch):
+            proj_b = {g: proj[g][b] for g in GATE_ORDER}
+            s = self._relevance(layer_index, weights, proj_b)
+            breaks = find_breakpoints(s, self.config.alpha_inter)
+            sublayers = divide_layer(seq_len, breaks)
+            tissues = align_tissues(sublayers, self.config.mts)
+            relevances.append(s)
+            sublayers_all.append(sublayers)
+            tissues_all.append(tissues)
+        return relevances, sublayers_all, tissues_all
+
+    def _run_layer_stepwise(
+        self, layer_index: int, weights: LSTMCellWeights, proj: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
+        """Batched timestep loop with per-gate GEMMs (the seed arithmetic)."""
+        cfg = self.config
+        batch, seq_len, hidden = proj["f"].shape
+        link = self.predicted_links[layer_index]
+
+        break_mask = np.zeros((batch, seq_len), dtype=bool)
+        relevances: list[np.ndarray | None] = [None] * batch
+        sublayers_all: list[list] = [[] for _ in range(batch)]
+        tissues_all: list[list] = [[] for _ in range(batch)]
+        if cfg.inter_active:
+            rel, subs, tis = self._plan_inter(layer_index, weights, proj)
+            for b in range(batch):
+                relevances[b] = rel[b]
+                sublayers_all[b] = subs[b]
+                tissues_all[b] = tis[b]
+                for sub in subs[b][1:]:
+                    break_mask[b, sub.start] = True
+
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        hs = np.empty((batch, seq_len, hidden))
+        cs = np.empty((batch, seq_len, hidden)) if self._collect_states else None
+        skip_fracs = np.zeros((batch, seq_len))
+        warp_fracs = np.zeros((batch, seq_len))
+
+        for t in range(seq_len):
+            if cfg.inter_active and break_mask[:, t].any():
+                reset = break_mask[:, t][:, None]
+                h = np.where(reset, link.h_bar[None, :], h)
+                c = np.where(reset, link.c_bar[None, :], c)
+
+            o = sigmoid(proj["o"][:, t] + h @ weights.u_o.T + weights.b_o)
+            f = sigmoid(proj["f"][:, t] + h @ weights.u_f.T + weights.b_f)
+            i = sigmoid(proj["i"][:, t] + h @ weights.u_i.T + weights.b_i)
+            g = tanh(proj["c"][:, t] + h @ weights.u_c.T + weights.b_c)
+            c = f * c + i * g
+            if cfg.intra_active and cfg.alpha_intra > 0.0:
+                masks = o < cfg.alpha_intra  # (B, H)
+                c = np.where(masks, 0.0, c)
+                skip_fracs[:, t] = masks.mean(axis=1)
+                warp_fracs[:, t] = _warp_skip_fractions(masks)
+            h = o * tanh(c)
+            hs[:, t] = h
+            if cs is not None:
+                cs[:, t] = c
+        self._last_states = cs
+
+        records = []
+        for b in range(batch):
+            records.append(
+                self._stepwise_record(
+                    layer_index,
+                    weights,
+                    seq_len,
+                    sublayers_all[b],
+                    tissues_all[b],
+                    relevances[b],
+                    skip_fracs[b],
+                    warp_fracs[b],
+                )
+            )
+        return hs, records
+
+    def _stepwise_record(
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        seq_len: int,
+        sublayers: list,
+        tissues: list,
+        relevance: np.ndarray | None,
+        skip_fracs: np.ndarray,
+        warp_fracs: np.ndarray,
+    ) -> LayerPlanRecord:
+        if self.config.inter_active:
+            tissue_records = []
+            for tissue in tissues:
+                # Timestamp-resolved skip stats; the per-tissue shared-load
+                # fraction is the mean of the fused cells' fractions here
+                # because stepwise modes never intersect masks (INTER has
+                # alpha_intra == 0, so the fractions are all zero anyway).
+                ts = tissue.timestamps()
+                tissue_records.append(
+                    TissueRecord(
+                        cells=list(tissue.cells),
+                        skip_fraction=float(np.mean([skip_fracs[t] for t in ts])),
+                        warp_skip_fraction=float(np.mean([warp_fracs[t] for t in ts])),
+                    )
+                )
+            breakpoints = [sub.start for sub in sublayers[1:]]
+            sublayer_lengths = [sub.length for sub in sublayers]
+        else:
+            tissue_records = [
+                TissueRecord(
+                    cells=[(0, t)],
+                    skip_fraction=float(skip_fracs[t]),
+                    warp_skip_fraction=float(warp_fracs[t]),
+                )
+                for t in range(seq_len)
+            ]
+            breakpoints = []
+            sublayer_lengths = [seq_len]
+        return LayerPlanRecord(
+            layer_index=layer_index,
+            hidden_size=weights.hidden_size,
+            input_size=weights.input_size,
+            seq_length=seq_len,
+            breakpoints=breakpoints,
+            sublayer_lengths=sublayer_lengths,
+            tissues=tissue_records,
+            relevance=relevance,
+        )
+
+    def _run_layer_combined(
+        self, layer_index: int, weights: LSTMCellWeights, proj: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
+        """Per-sequence tissue-ordered walk (inter + intra together)."""
+        cfg = self.config
+        batch, seq_len, hidden = proj["f"].shape
+        link = self.predicted_links[layer_index]
+        self._last_states = None  # combined mode does not collect states
+        relevances, sublayers_all, tissues_all = self._plan_inter(layer_index, weights, proj)
+
+        hs = np.empty((batch, seq_len, hidden))
+        records = []
+        for b in range(batch):
+            sublayers = sublayers_all[b]
+            tissues = tissues_all[b]
+            h_state = np.zeros((len(sublayers), hidden))
+            c_state = np.zeros((len(sublayers), hidden))
+            for sub_idx in range(1, len(sublayers)):
+                h_state[sub_idx] = link.h_bar
+                c_state[sub_idx] = link.c_bar
+
+            tissue_records = []
+            for tissue in tissues:
+                subs = [s for s, _ in tissue.cells]
+                ts = [t for _, t in tissue.cells]
+                h_prev = h_state[subs]
+                c_prev = c_state[subs]
+                x_o = proj["o"][b, ts]
+                o = sigmoid(x_o + h_prev @ weights.u_o.T + weights.b_o)
+                skip_frac = 0.0
+                warp_frac = 0.0
+                f = sigmoid(proj["f"][b, ts] + h_prev @ weights.u_f.T + weights.b_f)
+                i = sigmoid(proj["i"][b, ts] + h_prev @ weights.u_i.T + weights.b_i)
+                g = tanh(proj["c"][b, ts] + h_prev @ weights.u_c.T + weights.b_c)
+                c_new = f * c_prev + i * g
+                if cfg.alpha_intra > 0.0:
+                    masks = o < cfg.alpha_intra  # (k, H)
+                    shared = masks.all(axis=0)  # the tissue's intersection
+                    c_new = np.where(shared[None, :], 0.0, c_new)
+                    skip_frac = float(shared.mean())
+                    warp_frac = float(_warp_skip_fractions(shared[None, :])[0])
+                h_new = o * tanh(c_new)
+                h_state[subs] = h_new
+                c_state[subs] = c_new
+                hs[b, ts] = h_new
+                tissue_records.append(
+                    TissueRecord(
+                        cells=list(tissue.cells),
+                        skip_fraction=skip_frac,
+                        warp_skip_fraction=warp_frac,
+                    )
+                )
+            records.append(
+                LayerPlanRecord(
+                    layer_index=layer_index,
+                    hidden_size=hidden,
+                    input_size=weights.input_size,
+                    seq_length=seq_len,
+                    breakpoints=[sub.start for sub in sublayers[1:]],
+                    sublayer_lengths=[sub.length for sub in sublayers],
+                    tissues=tissue_records,
+                    relevance=relevances[b],
+                )
+            )
+        return hs, records

@@ -44,21 +44,31 @@ def recurrent_row_ranges(weights: LSTMCellWeights) -> dict[str, np.ndarray]:
     return {g: np.abs(weights.gate_u(g)).sum(axis=1) for g in GATE_ORDER}
 
 
-def _check_projections(weights: LSTMCellWeights, x_proj: dict[str, np.ndarray]) -> int:
+def _check_projections(
+    weights: LSTMCellWeights, x_proj: dict[str, np.ndarray]
+) -> tuple[int, ...]:
+    """Validate the per-gate projections; returns the leading shape.
+
+    Projections are ``(..., T, H)``: the canonical per-layer ``(T, H)``
+    form, or any number of leading batch dimensions (the batched executor
+    passes ``(B, T, H)`` when it vectorizes the relevance pass).
+    """
     hidden = weights.hidden_size
-    length = None
+    lead: tuple[int, ...] | None = None
     for gate in GATE_ORDER:
         if gate not in x_proj:
             raise ShapeError(f"x_proj missing gate {gate!r}")
         arr = x_proj[gate]
-        if arr.ndim != 2 or arr.shape[1] != hidden:
-            raise ShapeError(f"x_proj[{gate!r}] must be (T, {hidden}), got {arr.shape}")
-        if length is None:
-            length = arr.shape[0]
-        elif arr.shape[0] != length:
+        if arr.ndim < 2 or arr.shape[-1] != hidden:
+            raise ShapeError(
+                f"x_proj[{gate!r}] must be (..., T, {hidden}), got {arr.shape}"
+            )
+        if lead is None:
+            lead = arr.shape[:-1]
+        elif arr.shape[:-1] != lead:
             raise ShapeError("x_proj gates disagree on sequence length")
-    assert length is not None
-    return length
+    assert lead is not None
+    return lead
 
 
 def relevance_values(
@@ -71,15 +81,17 @@ def relevance_values(
     Args:
         weights: Layer weights (provides ``U`` and ``b``).
         x_proj: Per-gate input projections ``X' = W_g x_t`` of shape
-            ``(T, H)`` — the output of the per-layer ``Sgemm(W, x)``.
+            ``(T, H)`` — the output of the per-layer ``Sgemm(W, x)`` — or
+            ``(..., T, H)`` with leading batch dimensions.
         row_ranges: Optional precomputed :func:`recurrent_row_ranges`.
 
     Returns:
-        Array of shape ``(T,)``: ``S[t]`` measures the link *into* cell
-        ``t`` from cell ``t - 1``. ``S[0]`` is computed like every other
-        entry but has no link to break (there is no cell ``-1``).
+        Array of shape ``(T,)`` (or ``(..., T)`` for batched projections):
+        ``S[t]`` measures the link *into* cell ``t`` from cell ``t - 1``.
+        ``S[0]`` is computed like every other entry but has no link to
+        break (there is no cell ``-1``).
     """
-    length = _check_projections(weights, x_proj)
+    lead = _check_projections(weights, x_proj)
     ranges = row_ranges if row_ranges is not None else recurrent_row_ranges(weights)
 
     per_gate: dict[str, np.ndarray] = {}
@@ -96,8 +108,8 @@ def relevance_values(
 
     # Line 6: combine gate overlaps; line 7: reduce over the hidden dim.
     s_elem = per_gate["o"] * (per_gate["f"] + per_gate["i"] * per_gate["c"])
-    s = s_elem.sum(axis=1)
-    if s.shape != (length,):
+    s = s_elem.sum(axis=-1)
+    if s.shape != lead:
         raise ShapeError("internal: relevance reduction produced a bad shape")
     return s
 
@@ -122,7 +134,7 @@ def exact_relevance_values(
         per_gate[gate] = sensitive_overlap(center - ranges[gate], center + ranges[gate])
 
     s_elem = per_gate["o"] * (per_gate["f"] + per_gate["i"] * per_gate["c"])
-    return s_elem.sum(axis=1)
+    return s_elem.sum(axis=-1)
 
 
 def max_relevance(hidden_size: int) -> float:

@@ -93,6 +93,19 @@ def align_tissues(sublayers: list[SubLayer], mts: int) -> list[Tissue]:
     return tissues
 
 
+def schedule_key(tissues: list[Tissue] | tuple[Tissue, ...]) -> tuple:
+    """A hashable signature of a tissue schedule.
+
+    Two layers with equal signatures execute the *exact same* structural
+    plan — same breakpoints (recoverable from the ``(sub-layer, timestamp)``
+    cells), same tissue composition, same order. The batched executor groups
+    combined-mode sequences by this key so that same-plan sequences execute
+    together, and the :class:`~repro.core.plan.PlanCache` uses it when
+    comparing cached plans.
+    """
+    return tuple(tuple(t.cells) for t in tissues)
+
+
 def validate_schedule(sublayers: list[SubLayer], tissues: list[Tissue], mts: int) -> None:
     """Check a tissue schedule: capacity, coverage, and chain order.
 

@@ -43,6 +43,7 @@ __all__ = [
     "pruned_spmv_penalties",
     "relevance_kernel",
     "reorganize_ctas",
+    "software_drs_penalties",
     "sgemm_kernel",
     "sgemv_kernel",
 ]

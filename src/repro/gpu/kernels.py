@@ -68,7 +68,9 @@ class KernelLaunch:
         if self.flops < 0 or self.weight_bytes < 0 or self.stream_read_bytes < 0:
             raise ConfigurationError("kernel work quantities must be non-negative")
         if not 0 < self.warp_efficiency <= 1:
-            raise ConfigurationError(f"warp_efficiency must be in (0, 1], got {self.warp_efficiency}")
+            raise ConfigurationError(
+                f"warp_efficiency must be in (0, 1], got {self.warp_efficiency}"
+            )
         if not 0 < self.gather_efficiency <= 1:
             raise ConfigurationError(
                 f"gather_efficiency must be in (0, 1], got {self.gather_efficiency}"

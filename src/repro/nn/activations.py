@@ -22,14 +22,17 @@ SENSITIVE_WIDTH: float = SENSITIVE_HI - SENSITIVE_LO
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
+    """Numerically stable logistic sigmoid.
+
+    Evaluates ``exp(-|x|)`` once and selects the positive/negative branch
+    with ``where``: ``-|x|`` is exactly ``-x`` for ``x >= 0`` and exactly
+    ``x`` otherwise, so each element matches the classic two-branch stable
+    form bit for bit while avoiding the masked gather/scatter passes.
+    """
     x = np.asarray(x, dtype=np.float64)
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    ex = np.exp(-np.abs(x))
+    denom = 1.0 + ex
+    return np.where(x >= 0, 1.0 / denom, ex / denom)
 
 
 def hard_sigmoid(x: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ import numpy as np
 from repro.config import APP_NAMES, get_app
 from repro.core.executor import ExecutionMode
 from repro.core.pipeline import InferenceOutcome, OptimizedLSTM
+from repro.core.plan import PlanCache
 from repro.core.thresholds import select_ao, select_bpa
 from repro.errors import ConfigurationError
 from repro.gpu.specs import GPUSpec, TEGRA_X1
@@ -183,10 +184,11 @@ def build_workload(
     calibration_sequences: int = 8,
     confidence_keep: float | None = None,
     mts: int | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> Workload:
     """Build, calibrate, and label one Table II application end to end."""
     app_config = get_app(name)
-    app = OptimizedLSTM.from_app(app_config, seed=seed, spec=spec)
+    app = OptimizedLSTM.from_app(app_config, seed=seed, spec=spec, plan_cache=plan_cache)
     app.calibrate(num_sequences=calibration_sequences, mts=mts)
     if num_sequences is None:
         num_sequences = DEFAULT_EVAL_SEQUENCES[app_config.name]
@@ -208,6 +210,7 @@ def build_scaled_workload(
     num_sequences: int | None = None,
     spec: GPUSpec = TEGRA_X1,
     calibration_sequences: int = 6,
+    plan_cache: PlanCache | None = None,
 ) -> Workload:
     """A Table II application with altered model capacity (Fig. 17 sweeps).
 
@@ -222,7 +225,7 @@ def build_scaled_workload(
     scaled = dataclasses.replace(
         base, model=base.model.scaled(hidden_size=hidden_size, seq_length=seq_length)
     )
-    app = _OptimizedLSTM.from_app(scaled, seed=seed, spec=spec)
+    app = _OptimizedLSTM.from_app(scaled, seed=seed, spec=spec, plan_cache=plan_cache)
     app.calibrate(num_sequences=calibration_sequences)
     if num_sequences is None:
         num_sequences = max(12, DEFAULT_EVAL_SEQUENCES[base.name] // 2)

@@ -1,6 +1,5 @@
 """Tests for the Workload wrapper and scaled-capacity builders."""
 
-import numpy as np
 import pytest
 
 from repro.config import AppConfig, LSTMConfig, TaskFamily

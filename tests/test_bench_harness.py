@@ -5,10 +5,6 @@ on the real Table II applications; here we test the harness plumbing —
 app selection, context caching, and the static report generators.
 """
 
-import os
-
-import pytest
-
 from repro.bench.harness import (
     ExperimentContext,
     default_apps,
@@ -53,7 +49,7 @@ class TestContextCaching:
         calls = []
         import repro.bench.harness as harness
 
-        def fake_build(name, seed, spec):
+        def fake_build(name, seed, spec, plan_cache=None):
             calls.append(name)
             return object()
 

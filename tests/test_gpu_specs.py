@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.gpu.specs import GPUSpec, TEGRA_X1, TESLA_M40
+from repro.gpu.specs import TEGRA_X1, TESLA_M40
 
 
 class TestTegraX1:

@@ -5,7 +5,6 @@ exceeds the L2, so the memory phenomena actually appear) and checks the
 paper's qualitative claims hold through the whole stack.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import AppConfig, LSTMConfig, TaskFamily

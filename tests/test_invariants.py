@@ -7,7 +7,6 @@ traces account bytes consistently, and determinism holds end to end.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import AppConfig, LSTMConfig, TaskFamily

@@ -6,7 +6,6 @@ optimization's *traffic* saving disappears — the quantitative backing for
 the paper's claim that the problem is mobile specific.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import AppConfig, LSTMConfig, TaskFamily

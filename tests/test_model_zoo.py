@@ -8,10 +8,9 @@ dimensions, boundary resets, and informativeness-scaled heads.
 import numpy as np
 import pytest
 
-from repro.config import AppConfig, LSTMConfig, TaskFamily, get_app
+from repro.config import LSTMConfig, get_app
 from repro.errors import ConfigurationError
 from repro.nn.activations import sigmoid
-from repro.nn.lstm_cell import GATE_ORDER
 from repro.nn.model_zoo import (
     APP_PROFILES,
     CalibrationProfile,
@@ -114,7 +113,8 @@ class TestCalibratedStatistics:
         out = mr_network.forward(tokens)
         channel = out.layer_outputs[0][:, -1]
         assert channel[4] > 0.5
-        quiet = [channel[t] for t in range(len(tokens)) if tokens[t] not in set(mr_network.boundary_token_ids.tolist())]
+        boundary_ids = set(mr_network.boundary_token_ids.tolist())
+        quiet = [channel[t] for t in range(len(tokens)) if tokens[t] not in boundary_ids]
         assert np.max(np.abs(quiet)) < 0.1
         del non_boundary
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import LSTMConfig
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn.gru import GRUCellWeights, GRULayer, gru_cell_step
 from repro.nn.initializers import WeightInitializer
@@ -58,12 +57,14 @@ class TestNetwork:
 
     def test_pool_top_is_mean_of_tail(self, tiny_config):
         net = LSTMNetwork(tiny_config, 50, 3, head_pool=3)
-        top = np.random.default_rng(0).normal(size=(tiny_config.seq_length, tiny_config.hidden_size))
+        rng = np.random.default_rng(0)
+        top = rng.normal(size=(tiny_config.seq_length, tiny_config.hidden_size))
         np.testing.assert_allclose(net.pool_top(top), top[-3:].mean(axis=0))
 
     def test_pool_top_batched(self, tiny_config):
         net = LSTMNetwork(tiny_config, 50, 3, head_pool=2)
-        top = np.random.default_rng(0).normal(size=(5, tiny_config.seq_length, tiny_config.hidden_size))
+        rng = np.random.default_rng(0)
+        top = rng.normal(size=(5, tiny_config.seq_length, tiny_config.hidden_size))
         np.testing.assert_allclose(net.pool_top(top), top[:, -2:, :].mean(axis=1))
 
     def test_embed_validates_range(self, tiny_network):

@@ -2,11 +2,10 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.gpu.kernels import KernelLaunch, elementwise_kernel, sgemm_kernel, sgemv_kernel
+from repro.gpu.kernels import elementwise_kernel, sgemm_kernel, sgemv_kernel
 from repro.gpu.simulator import TimingSimulator
 from repro.gpu.specs import TEGRA_X1, TESLA_M40
 

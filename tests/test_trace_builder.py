@@ -1,6 +1,5 @@
 """Tests for the plan -> kernel-trace translation."""
 
-import numpy as np
 import pytest
 
 from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.tuner import (
-    OfflineCalibration,
     calibrate_offline,
     collect_relevance_samples,
     find_alpha_inter_max,
