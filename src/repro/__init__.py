@@ -43,6 +43,7 @@ from repro.gpu.simulator import TimingSimulator
 from repro.gpu.specs import GPUSpec, TEGRA_X1, TESLA_M40
 from repro.nn.model_zoo import build_calibrated_network
 from repro.nn.network import LSTMNetwork
+from repro.obs import Recorder, RunRecord
 
 __version__ = "1.0.0"
 
@@ -60,6 +61,8 @@ __all__ = [
     "OptimizedLSTM",
     "PlanCache",
     "PlanCacheStats",
+    "Recorder",
+    "RunRecord",
     "TABLE2_APPS",
     "TEGRA_X1",
     "TESLA_M40",

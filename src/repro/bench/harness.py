@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.gpu.specs import GPUSpec, TEGRA_X1
 from repro.workloads.apps import Workload, WorkloadEvaluation, build_workload
 from repro.workloads.userstudy import ReplayProgram, UserStudy, sample_participants
 from repro.bench.reporting import format_cache_stats, format_series, format_table
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import Recorder
 
 #: Sequences used when a figure needs kernel traces (stall/bandwidth/layer
 #: breakdowns) — traces are deterministic per sequence, so few are needed.
@@ -43,15 +47,36 @@ def default_apps() -> tuple[str, ...]:
 
 @dataclass
 class ExperimentContext:
-    """Shared, cached state for one benchmark session."""
+    """Shared, cached state for one benchmark session.
+
+    ``seed`` is the *single* reproducibility root: workload construction,
+    threshold sweeps, and the user-study panel/replay randomness are all
+    derived from it, so two contexts with the same seed regenerate every
+    figure identically. ``recorder`` optionally captures the traced
+    experiment runs as :class:`~repro.obs.record.RunRecord` objects.
+    """
 
     seed: int = 0
     spec: GPUSpec = TEGRA_X1
     target_accuracy: float = USER_IMPERCEPTIBLE_ACCURACY
     plan_cache: PlanCache = field(default_factory=PlanCache)
+    recorder: "Recorder | None" = None
     _workloads: dict[str, Workload] = field(default_factory=dict)
     _sweeps: dict[tuple, list[WorkloadEvaluation]] = field(default_factory=dict)
     _tuned_combined: dict[str, WorkloadEvaluation] = field(default_factory=dict)
+
+    def derived_seed(self, *scope: object) -> int:
+        """A child seed deterministically derived from ``seed`` and a scope.
+
+        Every experiment needing its own random stream (e.g. the Fig. 18
+        user study) draws from here instead of hard-coding a free-floating
+        seed, keeping the whole session reproducible from ``self.seed``.
+        """
+        entropy = [int(self.seed)] + [
+            s if isinstance(s, int) else int.from_bytes(str(s).encode(), "little")
+            for s in scope
+        ]
+        return int(np.random.SeedSequence(entropy).generate_state(1)[0])
 
     def workload(self, name: str) -> Workload:
         """Build (once) and return one application workload."""
@@ -129,13 +154,32 @@ class ExperimentContext:
         return best
 
     def traced_outcomes(self, name: str, mode: ExecutionMode, **kwargs):
-        """(baseline, optimized) outcomes with kernel traces retained."""
+        """(baseline, optimized) outcomes with kernel traces retained.
+
+        When the context carries a :attr:`recorder`, both runs emit
+        :class:`~repro.obs.record.RunRecord` objects (labelled with the
+        application name), so a figure regeneration doubles as a trace
+        capture session.
+        """
         workload = self.workload(name)
         tokens = workload.dataset.tokens[:TRACE_SEQUENCES]
-        base = workload.app.run(tokens, mode=ExecutionMode.BASELINE, keep_traces=True)
+        base = workload.app.run(
+            tokens,
+            mode=ExecutionMode.BASELINE,
+            keep_traces=True,
+            recorder=self.recorder,
+            label=name,
+        )
         if mode is ExecutionMode.BASELINE:
             return base, base
-        out = workload.app.run(tokens, mode=mode, keep_traces=True, **kwargs)
+        out = workload.app.run(
+            tokens,
+            mode=mode,
+            keep_traces=True,
+            recorder=self.recorder,
+            label=name,
+            **kwargs,
+        )
         return base, out
 
 
@@ -484,16 +528,29 @@ def fig17_model_capacity(
 # -------------------------------------------------------------------- Fig 18
 
 
-def fig18_user_study(ctx: ExperimentContext | None = None, apps=None, seed: int = 7):
-    """Fig. 18: simulated user-satisfaction scores per scheme."""
+def fig18_user_study(
+    ctx: ExperimentContext | None = None, apps=None, seed: int | None = None
+):
+    """Fig. 18: simulated user-satisfaction scores per scheme.
+
+    The participant panel and the replay-rating stream are seeded from
+    ``ctx.seed`` (via :meth:`ExperimentContext.derived_seed`), so the
+    experiment is reproducible from the single context seed like every
+    other figure; pass ``seed`` only to override the derivation.
+    """
     ctx = ctx or get_context()
     apps = apps or default_apps()
-    participants = sample_participants(seed=seed)
+    if seed is not None:
+        participant_seed = replay_seed = seed
+    else:
+        participant_seed = ctx.derived_seed("fig18", "participants")
+        replay_seed = ctx.derived_seed("fig18", "replays")
+    participants = sample_participants(seed=participant_seed)
     data = {}
     for name in apps:
         sweep = ctx.sweep(name, ExecutionMode.COMBINED)
         replay = ReplayProgram(sweep)
-        study = UserStudy(replay, participants=participants, seed=seed)
+        study = UserStudy(replay, participants=participants, seed=replay_seed)
         result = study.run(
             ao_index=Workload.ao_index(sweep, ctx.target_accuracy),
             bpa_index=Workload.bpa_index(sweep),

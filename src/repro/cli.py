@@ -1,14 +1,21 @@
 """Command-line interface for the reproduction.
 
-Four subcommands::
+Five subcommands::
 
     repro info                         # Table I + Table II
     repro run BABI --mode combined --set 4 --sequences 8
     repro sweep MR --mode combined     # the Fig. 19 row for one app
     repro figure fig14 --apps MR,PTB   # regenerate a paper figure
+    repro trace record MR --out runs.jsonl --chrome trace.json
+    repro trace summarize runs.jsonl
+    repro trace diff base.jsonl other.jsonl
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
+
+Library errors (:class:`~repro.errors.ReproError`) are reported as a
+one-line ``repro: error: ...`` message on stderr with exit status 1;
+argument mistakes get argparse's usage message and exit status 2.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import sys
 
 from repro.config import APP_NAMES
 from repro.core.executor import ExecutionMode
+from repro.errors import ConfigurationError, ReproError
 
 #: Figure names accepted by ``repro figure``.
 FIGURES = (
@@ -74,10 +82,63 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--apps", default=None, help="comma-separated app subset (default: all)"
     )
+
+    trace = sub.add_parser(
+        "trace", help="record, summarize, and diff structured run traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="run one application and export its RunRecord(s)"
+    )
+    record.add_argument("app", choices=[*APP_NAMES], help="Table II application")
+    record.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode],
+        default="combined",
+        help="execution scheme to record",
+    )
+    record.add_argument("--set", dest="threshold_set", type=int, default=4,
+                        help="threshold set index 0..10")
+    record.add_argument("--sequences", type=int, default=8, help="batch size")
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument(
+        "--out", required=True, help="JSONL output path (one RunRecord per line)"
+    )
+    record.add_argument(
+        "--chrome",
+        default=None,
+        help="also export a Chrome trace_event JSON (open in Perfetto)",
+    )
+    record.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the baseline run (by default both baseline and --mode "
+        "are recorded so the file can be diffed directly)",
+    )
+
+    summarize = trace_sub.add_parser(
+        "summarize", help="print a human summary of each run in a JSONL file"
+    )
+    summarize.add_argument("file", help="JSONL file written by 'trace record'")
+
+    diff = trace_sub.add_parser(
+        "diff", help="compare two recorded runs down to the kernel class"
+    )
+    diff.add_argument("base", help="JSONL file with the baseline run")
+    diff.add_argument("other", help="JSONL file with the optimized run")
+    diff.add_argument(
+        "--base-index", type=int, default=0,
+        help="record index inside BASE (default 0, negatives allowed)",
+    )
+    diff.add_argument(
+        "--other-index", type=int, default=-1,
+        help="record index inside OTHER (default -1, the last record)",
+    )
     return parser
 
 
-def _cmd_info() -> int:
+def _cmd_info(args) -> int:
     from repro.bench.harness import table1_platform, table2_applications
 
     print(table1_platform())
@@ -141,7 +202,14 @@ def _cmd_figure(args) -> int:
     from repro.bench import harness
 
     if args.apps:
-        os.environ["REPRO_BENCH_APPS"] = args.apps
+        requested = [a.strip() for a in args.apps.split(",") if a.strip()]
+        unknown = [a for a in requested if a not in APP_NAMES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown app(s) {', '.join(unknown)} in --apps "
+                f"(choose from {', '.join(APP_NAMES)})"
+            )
+        os.environ["REPRO_BENCH_APPS"] = ",".join(requested)
     functions = {
         "table1": lambda: harness.table1_platform(),
         "table2": lambda: harness.table2_applications(),
@@ -160,18 +228,96 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_trace_record(args) -> int:
+    from repro.core.pipeline import OptimizedLSTM
+    from repro.obs import Recorder, write_chrome_trace, write_jsonl
+
+    mode = ExecutionMode(args.mode)
+    print(f"Building {args.app} ...", file=sys.stderr)
+    app = OptimizedLSTM.from_app(args.app, seed=args.seed)
+    if mode not in (ExecutionMode.BASELINE, ExecutionMode.ZERO_PRUNE):
+        app.calibrate()
+    tokens = app.sample_tokens(args.sequences, seed=args.seed + 1)
+    recorder = Recorder()
+    if not args.no_baseline and mode is not ExecutionMode.BASELINE:
+        app.run(tokens, mode=ExecutionMode.BASELINE, recorder=recorder)
+    kwargs = {}
+    if mode not in (ExecutionMode.BASELINE, ExecutionMode.ZERO_PRUNE):
+        kwargs["threshold_index"] = args.threshold_set
+    app.run(tokens, mode=mode, recorder=recorder, **kwargs)
+    write_jsonl(recorder.records, args.out)
+    print(f"wrote {len(recorder.records)} run record(s) to {args.out}")
+    if args.chrome:
+        write_chrome_trace(recorder.records, args.chrome)
+        print(f"wrote Chrome trace to {args.chrome} (open in ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs import format_run_summary, read_jsonl
+
+    records = read_jsonl(args.file)
+    for index, record in enumerate(records):
+        if index:
+            print()
+        print(format_run_summary(record))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.obs import diff_runs, format_diff, read_jsonl
+
+    def pick(path: str, index: int):
+        records = read_jsonl(path)
+        try:
+            return records[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"{path} holds {len(records)} record(s); index {index} is out of range"
+            ) from None
+
+    base = pick(args.base, args.base_index)
+    other = pick(args.other, args.other_index)
+    print(format_diff(diff_runs(base, other)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    handlers = {
+        "record": _cmd_trace_record,
+        "summarize": _cmd_trace_summarize,
+        "diff": _cmd_trace_diff,
+    }
+    return handlers[args.trace_command](args)
+
+
+#: Subcommand dispatch table (names match the subparser names above).
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "figure": _cmd_figure,
+    "trace": _cmd_trace,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
-    args = build_parser().parse_args(argv)
-    if args.command == "info":
-        return _cmd_info()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    raise AssertionError("unreachable")
+    """CLI entry point.
+
+    Returns 0 on success and 1 when the library raises a
+    :class:`~repro.errors.ReproError` (reported on stderr, no traceback);
+    argparse itself exits with status 2 on unknown commands/apps/modes.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -44,7 +44,9 @@ sweeps recompute no relevance array twice.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -72,6 +74,9 @@ from repro.nn.activations import sigmoid, tanh
 from repro.nn.lstm_cell import GATE_ORDER, LSTMCellWeights
 from repro.nn.network import LSTMNetwork
 from repro.nn.pruning import prune_cell_weights
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import Recorder
 
 
 class ExecutionMode(enum.Enum):
@@ -131,12 +136,20 @@ class ExecutionConfig:
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one batched execution."""
+    """Outcome of one batched execution.
+
+    ``timings`` carries the host-side wall-clock split of the run —
+    ``exec_wall_s`` (whole numerical execution) and ``plan_wall_s``
+    (structural planning: relevance, breakpoints, tissue alignment) —
+    measured at layer granularity, so the cost is two clock reads per
+    layer regardless of batch or sequence length.
+    """
 
     logits: np.ndarray
     plans: list[SequencePlan]
     layer_outputs: list[np.ndarray] = field(default_factory=list)
     layer_states: list[np.ndarray] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
 
     def predictions(self) -> np.ndarray:
         """Argmax predictions: ``(B,)`` or ``(B, T)``."""
@@ -144,7 +157,14 @@ class ExecutionResult:
 
 
 def _warp_skip_fractions(masks: np.ndarray, warp_size: int = 32) -> np.ndarray:
-    """Vectorized fraction of all-trivial warps per mask row.
+    """Vectorized fraction of *rows* living in all-trivial warps, per mask.
+
+    Each warp is weighted by its real lane count, so when ``H`` is not a
+    multiple of the warp size the trailing partial warp contributes only
+    its actual rows (a 16-lane tail warp of a 48-row layer is 16/48 of the
+    rows, not 1/2 of the warps). This keeps the warp-level fraction <= the
+    row-level skip fraction — the invariant the software-DRS divergence
+    model in :mod:`repro.gpu.cta` relies on.
 
     Args:
         masks: Boolean array ``(..., H)``.
@@ -155,7 +175,10 @@ def _warp_skip_fractions(masks: np.ndarray, warp_size: int = 32) -> np.ndarray:
     n_warps = -(-hidden // warp_size)
     padded = np.ones(masks.shape[:-1] + (n_warps * warp_size,), dtype=bool)
     padded[..., :hidden] = masks
-    return padded.reshape(masks.shape[:-1] + (n_warps, warp_size)).all(axis=-1).mean(axis=-1)
+    whole = padded.reshape(masks.shape[:-1] + (n_warps, warp_size)).all(axis=-1)
+    lanes = np.full(n_warps, warp_size, dtype=float)
+    lanes[-1] = hidden - (n_warps - 1) * warp_size
+    return (whole * lanes).sum(axis=-1) / hidden
 
 
 @dataclass
@@ -193,6 +216,12 @@ class LSTMExecutor:
         plan_cache: Optional shared :class:`~repro.core.plan.PlanCache`;
             when given, per-sequence relevance arrays and structural plans
             are reused across executor instances and runs.
+        recorder: Optional :class:`~repro.obs.recorder.Recorder`; when
+            enabled, every ``run_batch`` emits a numerics-plane
+            :class:`~repro.obs.record.RunRecord` (plan counters + wall
+            clock, no kernel events). :meth:`repro.core.pipeline.
+            OptimizedLSTM.run` records through its own builder instead and
+            leaves this unset, so runs are never double-recorded.
     """
 
     def __init__(
@@ -201,10 +230,13 @@ class LSTMExecutor:
         config: ExecutionConfig,
         predicted_links: list[PredictedLink] | None = None,
         plan_cache: PlanCache | None = None,
+        recorder: "Recorder | None" = None,
     ) -> None:
         self.network = network
         self.config = config
         self.plan_cache = plan_cache
+        self.recorder = recorder
+        self._plan_wall = 0.0
         hidden = network.config.hidden_size
         if predicted_links is None:
             predicted_links = [PredictedLink.zeros(hidden) for _ in network.layers]
@@ -247,6 +279,8 @@ class LSTMExecutor:
         if tokens.ndim != 2:
             raise ShapeError(f"tokens must be (B, T), got shape {tokens.shape}")
         batch, seq_len = tokens.shape
+        start_wall = time.perf_counter()
+        self._plan_wall = 0.0
         xs = self.network.embedding[tokens]  # (B, T, E)
 
         plan_layers: list[list[LayerPlanRecord]] = [[] for _ in range(batch)]
@@ -264,12 +298,43 @@ class LSTMExecutor:
         top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
         logits = self.network.head_logits(top)
         plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
-        return ExecutionResult(
+        timings = {
+            "exec_wall_s": time.perf_counter() - start_wall,
+            "plan_wall_s": self._plan_wall,
+        }
+        result = ExecutionResult(
             logits=logits,
             plans=plans,
             layer_outputs=layer_outputs,
             layer_states=layer_states,
+            timings=timings,
         )
+        if self.recorder is not None:
+            self._record_run(result, batch, seq_len)
+        return result
+
+    def _record_run(self, result: ExecutionResult, batch: int, seq_len: int) -> None:
+        """Emit a numerics-plane run record (no-op when recorder disabled)."""
+        cfg = self.config
+        builder = self.recorder.start_run(
+            label="executor",
+            mode=cfg.mode.value,
+            spec=cfg.spec.name,
+            batch=batch,
+            seq_length=seq_len,
+            config={
+                "alpha_inter": cfg.alpha_inter,
+                "alpha_intra": cfg.alpha_intra,
+                "mts": cfg.mts,
+                "drs_style": cfg.drs_style,
+            },
+        )
+        if builder is None:
+            return
+        for b, plan in enumerate(result.plans):
+            builder.observe_plan(b, plan)
+        builder.set_timing(wall_s=result.timings["exec_wall_s"], **result.timings)
+        builder.finish()
 
     def kernel_trace(self, plan: SequencePlan):
         """GPU kernel trace of one executed sequence (for the simulator)."""
@@ -331,6 +396,7 @@ class LSTMExecutor:
     ) -> list[CachedLayerPlan]:
         """Per-sequence structural plans, served from the cache when wired."""
         cfg = self.config
+        plan_start = time.perf_counter()
         batch, seq_len, _ = proj_u.shape
         proj = {g: proj_u[..., united.slices[g]] for g in GATE_ORDER}
         cache = self.plan_cache
@@ -361,6 +427,7 @@ class LSTMExecutor:
                     lambda s: self._build_plan(layer_index, weights, s, seq_len),
                 )
             )
+        self._plan_wall += time.perf_counter() - plan_start
         return plans
 
     def _run_layer_stepwise(

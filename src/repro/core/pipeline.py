@@ -17,7 +17,9 @@ simulated latency, and simulated whole-system energy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,6 +38,9 @@ from repro.gpu.specs import GPUSpec, TEGRA_X1
 from repro.gpu.trace import TraceSummary
 from repro.nn.model_zoo import build_calibrated_network
 from repro.nn.network import LSTMNetwork
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import Recorder
 
 
 @dataclass
@@ -137,9 +142,14 @@ class OptimizedLSTM:
         )
         return self.calibration
 
-    def _require_calibration(self) -> OfflineCalibration:
+    def _require_calibration(self, mode: ExecutionMode | None = None) -> OfflineCalibration:
         if self.calibration is None:
-            raise CalibrationError("call calibrate() before optimized execution")
+            wanted = f" in {mode.value.upper()} mode" if mode is not None else ""
+            raise CalibrationError(
+                f"running{wanted} needs the offline calibration (thresholds, MTS, "
+                "predicted context links) — call calibrate() once after "
+                "construction, e.g. app.calibrate(num_sequences=16)"
+            )
         return self.calibration
 
     def execution_config(
@@ -158,9 +168,15 @@ class OptimizedLSTM:
             return ExecutionConfig(
                 mode=mode, spec=self.spec, zero_prune_fraction=zero_prune_fraction
             )
-        calibration = self._require_calibration()
+        calibration = self._require_calibration(mode)
         if threshold_index is not None:
-            ts = calibration.schedule()[threshold_index]
+            schedule = calibration.schedule()
+            if not 0 <= threshold_index < len(schedule):
+                raise ConfigurationError(
+                    f"threshold_index {threshold_index} out of range "
+                    f"(schedule has sets 0..{len(schedule) - 1})"
+                )
+            ts = schedule[threshold_index]
             alpha_inter = ts.alpha_inter if alpha_inter is None else alpha_inter
             alpha_intra = ts.alpha_intra if alpha_intra is None else alpha_intra
         if alpha_inter is None:
@@ -191,8 +207,23 @@ class OptimizedLSTM:
         zero_prune_fraction: float = 0.37,
         keep_traces: bool = False,
         keep_result: bool = False,
+        recorder: "Recorder | None" = None,
+        label: str | None = None,
     ) -> InferenceOutcome:
-        """Execute a batch under one scheme and simulate it on the GPU model."""
+        """Execute a batch under one scheme and simulate it on the GPU model.
+
+        Args:
+            recorder: Optional :class:`~repro.obs.recorder.Recorder`; when
+                enabled, the run emits a full :class:`~repro.obs.record.
+                RunRecord` — per-kernel launches with stall attribution,
+                per-layer structural counters, the plan-cache hit/miss
+                delta, and wall-clock vs simulated time. Recording never
+                changes the numerics: the executor runs identically with
+                and without it.
+            label: Free-form label stamped on the run record (defaults to
+                the application name when built via :meth:`from_app`).
+        """
+        wall_start = time.perf_counter()
         config = self.execution_config(
             mode,
             alpha_inter=alpha_inter,
@@ -205,16 +236,52 @@ class OptimizedLSTM:
         executor = LSTMExecutor(
             self.network, config, predicted_links=links, plan_cache=self.plan_cache
         )
-        result = executor.run_batch(np.asarray(tokens))
+        cache_before = self.plan_cache.stats.as_dict()
+        tokens = np.asarray(tokens)
+        if label is None:
+            app_config = getattr(self, "_app_config", None)
+            label = app_config.name if app_config is not None else ""
+        builder = (
+            recorder.start_run(
+                label=label,
+                mode=mode.value,
+                spec=self.spec.name,
+                batch=int(tokens.shape[0]),
+                seq_length=int(tokens.shape[-1]),
+                config={
+                    "alpha_inter": config.alpha_inter,
+                    "alpha_intra": config.alpha_intra,
+                    "mts": config.mts,
+                    "drs_style": config.drs_style,
+                    "threshold_index": threshold_index,
+                },
+            )
+            if recorder is not None
+            else None
+        )
+        result = executor.run_batch(tokens)
 
+        sim_start = time.perf_counter()
         simulator = TimingSimulator(self.spec)
         times, energies, traces = [], [], []
-        for plan in result.plans:
+        for seq_index, plan in enumerate(result.plans):
             trace = simulator.run_trace(executor.kernel_trace(plan))
             times.append(trace.total_time)
             energies.append(trace.total_energy)
             if keep_traces:
                 traces.append(trace)
+            if builder is not None:
+                builder.observe_plan(seq_index, plan)
+                builder.observe_trace(seq_index, trace)
+
+        if builder is not None:
+            builder.observe_cache_delta(cache_before, self.plan_cache.stats.as_dict())
+            builder.set_timing(
+                wall_s=time.perf_counter() - wall_start,
+                sim_wall_s=time.perf_counter() - sim_start,
+                **result.timings,
+            )
+            builder.finish()
 
         plans = result.plans
         return InferenceOutcome(

@@ -27,8 +27,14 @@ from repro.errors import ConfigurationError
 def warp_level_skip_fraction(
     skip_mask: np.ndarray, warp_size: int = 32
 ) -> float:
-    """Fraction of warps whose rows are *all* trivial (fully skippable in
-    software: the whole warp exits at the branch).
+    """Fraction of *rows* whose warp is entirely trivial (fully skippable
+    in software: the whole warp exits at the branch).
+
+    Each warp is weighted by its real lane count: a trailing partial warp
+    of a non-multiple-of-32 hidden size contributes only its actual rows.
+    This keeps the result <= the plain row-level skip fraction, which the
+    :func:`software_drs_penalties` divergence model requires (its mixed
+    term would otherwise go negative and report efficiencies above 1).
 
     Args:
         skip_mask: Boolean per-row mask, ``True`` = trivial row.
@@ -42,7 +48,10 @@ def warp_level_skip_fraction(
     padded[: mask.size] = mask
     # Padding lanes beyond the row count are inactive, treat them as trivial.
     padded[mask.size:] = True
-    return float(padded.reshape(n_warps, warp_size).all(axis=1).mean())
+    whole = padded.reshape(n_warps, warp_size).all(axis=1)
+    lanes = np.full(n_warps, warp_size, dtype=float)
+    lanes[-1] = mask.size - (n_warps - 1) * warp_size
+    return float((whole * lanes).sum() / mask.size)
 
 
 def software_drs_penalties(

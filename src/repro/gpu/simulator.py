@@ -20,7 +20,7 @@ categories and annotates energy via :class:`~repro.gpu.energy.EnergyModel`.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.errors import SimulationError
 from repro.gpu.energy import EnergyModel
@@ -107,7 +107,10 @@ class TimingSimulator:
         return stats
 
     def run_trace(
-        self, kernels: Iterable[KernelLaunch], cold_start: bool = True
+        self,
+        kernels: Iterable[KernelLaunch],
+        cold_start: bool = True,
+        observer: Callable[[KernelStats], None] | None = None,
     ) -> TraceSummary:
         """Simulate a kernel sequence in order.
 
@@ -115,10 +118,19 @@ class TimingSimulator:
             kernels: The launches, in execution order (mobile GPUs serialize
                 kernels, Section II-C).
             cold_start: Reset the L2 residency state first.
+            observer: Optional per-kernel callback invoked with each
+                :class:`~repro.gpu.trace.KernelStats` as it is produced —
+                the streaming hook of the :mod:`repro.obs` trace layer.
+                ``None`` (the default) costs nothing.
         """
         if cold_start:
             self.reset()
-        stats = [self.run_kernel(k) for k in kernels]
+        stats = []
+        for kernel in kernels:
+            stat = self.run_kernel(kernel)
+            if observer is not None:
+                observer(stat)
+            stats.append(stat)
         if not stats:
             raise SimulationError("cannot simulate an empty kernel trace")
         return TraceSummary(kernels=stats)

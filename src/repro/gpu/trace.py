@@ -59,6 +59,25 @@ class KernelStats:
         """Fraction of the kernel's execution spent at the DRAM roof."""
         return 0.0 if self.exec_time == 0 else min(1.0, self.t_dram / self.exec_time)
 
+    def as_dict(self) -> dict:
+        """Flat JSON-serializable form (consumed by :mod:`repro.obs`)."""
+        return {
+            "name": self.name,
+            "tag": self.tag,
+            "time_s": self.time,
+            "exec_s": self.exec_time,
+            "t_compute_s": self.t_compute,
+            "t_dram_s": self.t_dram,
+            "t_onchip_s": self.t_onchip,
+            "dram_bytes": self.dram_bytes,
+            "compulsory_bytes": self.compulsory_bytes,
+            "onchip_bytes": self.onchip_bytes,
+            "flops": self.flops,
+            "energy_j": self.energy,
+            "stall_cycles": dict(self.stall_cycles),
+            "energy_parts": dict(self.energy_parts),
+        }
+
     @property
     def onchip_utilization(self) -> float:
         """Fraction of the kernel's execution spent at the shared-memory roof."""

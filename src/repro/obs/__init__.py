@@ -1,0 +1,60 @@
+"""Structured observability for executions (``repro.obs``).
+
+Every :meth:`repro.core.pipeline.OptimizedLSTM.run` (and, standalone,
+every :meth:`repro.core.executor.LSTMExecutor.run_batch` with a recorder
+attached) can emit a :class:`RunRecord`: per-kernel launches with stall
+attribution, per-layer tissue/breakpoint/skip counters, plan-cache
+hit/miss deltas, and wall-clock vs simulated time. Records are collected
+through a :class:`Recorder` whose disabled form is free — no observation
+objects are allocated — and export as JSONL (one run per line) or Chrome
+``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
+
+The layer exists because the paper's claims are *attribution* claims
+(off-chip stalls dominate ``Sgemv``, the MTS knee is the shared-memory
+roof, DRS wins come from skipped row loads): a run must remain auditable
+down to the kernel class that moved, not flattened into scalar summaries.
+"""
+
+from repro.obs.diff import RunDiff, diff_runs, format_diff, format_run_summary
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.record import (
+    KernelEvent,
+    LayerObservation,
+    RunRecord,
+    SequenceObservation,
+)
+from repro.obs.recorder import Recorder, RunBuilder
+from repro.obs.schema import (
+    RUN_RECORD_SCHEMA_ID,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    validate_jsonl_file,
+    validate_run_dict,
+)
+
+__all__ = [
+    "KernelEvent",
+    "LayerObservation",
+    "Recorder",
+    "RunBuilder",
+    "RunDiff",
+    "RunRecord",
+    "RUN_RECORD_SCHEMA_ID",
+    "SequenceObservation",
+    "chrome_trace",
+    "diff_runs",
+    "format_diff",
+    "format_run_summary",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "validate_jsonl_file",
+    "validate_run_dict",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,132 @@
+"""Run-record export: JSONL and Chrome ``trace_event`` JSON.
+
+JSONL carries one :class:`~repro.obs.record.RunRecord` per line (the
+schema is stamped on every line, validated by :mod:`repro.obs.schema`).
+The Chrome format is the ``trace_event`` JSON object understood by
+``chrome://tracing`` and Perfetto: each kernel launch becomes a complete
+(``"ph": "X"``) event on one thread track per sequence, with start times
+reconstructed from the serialized launch order (mobile GPUs serialize
+kernels), and the stall/byte/flop attribution attached as ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ConfigurationError
+from repro.obs.record import RunRecord
+
+#: Microseconds per second — trace_event timestamps are in microseconds.
+_US = 1e6
+
+
+def write_jsonl(
+    records: list[RunRecord], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write records as JSONL (one run per line); returns the path."""
+    if not records:
+        raise ConfigurationError("cannot export an empty record list")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(record.to_dict(), sort_keys=True) for record in records]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[RunRecord]:
+    """Load every record of one JSONL export."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+    records = []
+    for n, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}:{n}: invalid JSON ({exc})") from exc
+        records.append(RunRecord.from_dict(data))
+    if not records:
+        raise ConfigurationError(f"{path}: no run records found")
+    return records
+
+
+def chrome_trace(records: list[RunRecord]) -> dict:
+    """Convert records to a Chrome ``trace_event`` JSON object.
+
+    One process per run (``pid``), one thread per sequence (``tid``);
+    process/thread name metadata events make the Perfetto track labels
+    readable.
+    """
+    if not records:
+        raise ConfigurationError("cannot export an empty record list")
+    events: list[dict] = []
+    for pid, record in enumerate(records):
+        label = record.label or record.mode or f"run{pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{label} [{record.mode}] on {record.spec}"},
+            }
+        )
+        seen_tids = set()
+        cursor: dict[int, float] = {}
+        for event in record.kernels:
+            tid = event.seq_index
+            if tid not in seen_tids:
+                seen_tids.add(tid)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": f"sequence {tid}"},
+                    }
+                )
+            start = cursor.get(tid, 0.0)
+            cursor[tid] = start + event.time_s
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": event.tag or "kernel",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": start * _US,
+                    "dur": event.time_s * _US,
+                    "args": {
+                        "tag": event.tag,
+                        "flops": event.flops,
+                        "dram_bytes": event.dram_bytes,
+                        "onchip_bytes": event.onchip_bytes,
+                        "energy_j": event.energy_j,
+                        "t_compute_s": event.t_compute_s,
+                        "t_dram_s": event.t_dram_s,
+                        "t_onchip_s": event.t_onchip_s,
+                        "stall_cycles": event.stall_cycles,
+                    },
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "runs": len(records)},
+    }
+
+
+def write_chrome_trace(
+    records: list[RunRecord], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write the Chrome ``trace_event`` JSON for ``records``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(records), indent=1) + "\n")
+    return path

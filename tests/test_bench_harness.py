@@ -74,3 +74,67 @@ class TestContextCaching:
         ctx.sweep("MR", ExecutionMode.INTER)
         ctx.sweep("MR", ExecutionMode.INTER, drs_style="software")
         assert len(calls) == 2
+
+
+class TestDerivedSeeds:
+    def test_deterministic_per_scope(self):
+        ctx = ExperimentContext(seed=7)
+        assert ctx.derived_seed("fig18", "participants") == ctx.derived_seed(
+            "fig18", "participants"
+        )
+
+    def test_scopes_get_distinct_streams(self):
+        ctx = ExperimentContext(seed=7)
+        assert ctx.derived_seed("fig18", "participants") != ctx.derived_seed(
+            "fig18", "replays"
+        )
+
+    def test_root_seed_changes_children(self):
+        assert ExperimentContext(seed=0).derived_seed("fig18") != ExperimentContext(
+            seed=1
+        ).derived_seed("fig18")
+
+    def test_fig18_seeds_follow_context(self):
+        """The user study draws from ctx.seed, not a free-floating constant.
+
+        Regression: the panel/replay seed used to be hard-coded to 7, so
+        two sessions with different root seeds produced identical studies.
+        """
+        from unittest.mock import patch
+
+        from repro.bench.harness import fig18_user_study
+
+        captured = {}
+
+        def fake_sample(seed):
+            captured["participants"] = seed
+            raise RuntimeError("stop after seeding")
+
+        with patch("repro.bench.harness.sample_participants", fake_sample):
+            for root in (0, 1):
+                ctx = ExperimentContext(seed=root)
+                try:
+                    fig18_user_study(ctx, apps=())
+                except RuntimeError:
+                    pass
+                assert captured["participants"] == ctx.derived_seed(
+                    "fig18", "participants"
+                )
+
+    def test_fig18_explicit_seed_overrides(self):
+        from unittest.mock import patch
+
+        from repro.bench.harness import fig18_user_study
+
+        captured = {}
+
+        def fake_sample(seed):
+            captured["participants"] = seed
+            raise RuntimeError("stop after seeding")
+
+        with patch("repro.bench.harness.sample_participants", fake_sample):
+            try:
+                fig18_user_study(ExperimentContext(), apps=(), seed=123)
+            except RuntimeError:
+                pass
+        assert captured["participants"] == 123

@@ -53,3 +53,78 @@ class TestCommands:
         )
         assert code == 0
         assert "speedup" in capsys.readouterr().out
+
+
+class TestTraceParser:
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_record_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "record", "MR"])
+
+    def test_record_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "record", "NOPE", "--out", "x.jsonl"]
+            )
+
+    def test_diff_defaults(self):
+        args = build_parser().parse_args(["trace", "diff", "a.jsonl", "b.jsonl"])
+        assert args.base_index == 0 and args.other_index == -1
+
+
+class TestTraceCommands:
+    def test_record_summarize_diff_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "mr.jsonl"
+        chrome = tmp_path / "mr_trace.json"
+        code = main(
+            [
+                "trace", "record", "MR",
+                "--sequences", "2",
+                "--out", str(out),
+                "--chrome", str(chrome),
+            ]
+        )
+        assert code == 0
+        assert "2 run record(s)" in capsys.readouterr().out
+
+        from repro.obs.schema import (
+            validate_chrome_trace_file,
+            validate_jsonl_file,
+        )
+
+        assert validate_jsonl_file(out) == 2
+        assert validate_chrome_trace_file(chrome) > 0
+
+        assert main(["trace", "summarize", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "baseline" in summary and "combined" in summary
+
+        assert main(["trace", "diff", str(out), str(out)]) == 0
+        diff = capsys.readouterr().out
+        assert "speedup" in diff and "baseline" in diff
+
+    def test_missing_file_reports_error(self, capsys, tmp_path):
+        code = main(["trace", "summarize", str(tmp_path / "missing.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err
+
+    def test_out_of_range_index_reports_error(self, capsys, tmp_path):
+        out = tmp_path / "mr.jsonl"
+        assert main(
+            ["trace", "record", "MR", "--sequences", "2", "--no-baseline",
+             "--mode", "baseline", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        code = main(["trace", "diff", str(out), str(out), "--other-index", "7"])
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_figure_rejects_unknown_apps_cleanly(self, capsys):
+        code = main(["figure", "table2", "--apps", "MR,BOGUS"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "BOGUS" in err and "Traceback" not in err

@@ -30,11 +30,29 @@ class TestWarpLevelSkip:
         mask[::2] = True  # every other row
         assert warp_level_skip_fraction(mask) == 0.0
 
-    def test_padding_lanes_count_as_trivial(self):
-        # 33 rows = 2 warps; second warp has 1 real row.
+    def test_partial_warp_weighted_by_real_lanes(self):
+        # 33 rows = 2 warps; the second warp has 1 real row. Its skip
+        # contributes that one row, not half the grid.
         mask = np.zeros(33, bool)
         mask[32] = True
-        assert warp_level_skip_fraction(mask) == 0.5
+        assert warp_level_skip_fraction(mask) == pytest.approx(1 / 33)
+
+    def test_never_exceeds_row_level_skip(self):
+        # hidden=48: rows 32..47 trivial -> row skip 1/3. The old unweighted
+        # mean reported 0.5 here, which broke software_drs_penalties.
+        mask = np.zeros(48, bool)
+        mask[32:] = True
+        warp_skip = warp_level_skip_fraction(mask)
+        assert warp_skip == pytest.approx(1 / 3)
+        assert warp_skip <= mask.mean()
+        warp, gather, _ = software_drs_penalties(float(mask.mean()), warp_skip)
+        assert warp <= 1.0 and gather <= 1.0
+
+    @given(st.integers(1, 130), st.integers(0, 2**32 - 1))
+    def test_lane_weighting_bounds(self, size, seed):
+        mask = np.random.default_rng(seed).random(size) < 0.5
+        warp_skip = warp_level_skip_fraction(mask)
+        assert 0.0 <= warp_skip <= mask.mean() + 1e-12
 
     def test_empty(self):
         assert warp_level_skip_fraction(np.zeros(0, bool)) == 0.0

@@ -120,3 +120,25 @@ class TestAlternateSpec:
         app = OptimizedLSTM.from_app(tiny_app_config, seed=1, spec=TESLA_M40)
         outcome = app.run(tiny_tokens, mode=ExecutionMode.BASELINE)
         assert outcome.mean_time > 0
+
+
+class TestCalibrationErrorMessages:
+    def test_message_is_actionable(self, tiny_app_config, tiny_tokens):
+        app = OptimizedLSTM.from_app(tiny_app_config, seed=1)
+        with pytest.raises(CalibrationError) as excinfo:
+            app.run(tiny_tokens, mode=ExecutionMode.COMBINED)
+        message = str(excinfo.value)
+        assert "COMBINED" in message
+        assert "calibrate()" in message
+
+    @pytest.mark.parametrize("mode", [ExecutionMode.INTER, ExecutionMode.COMBINED])
+    def test_raised_at_api_boundary_per_mode(self, tiny_app_config, tiny_tokens, mode):
+        app = OptimizedLSTM.from_app(tiny_app_config, seed=1)
+        with pytest.raises(CalibrationError, match=mode.value.upper()):
+            app.run(tiny_tokens, mode=mode)
+
+    def test_threshold_index_out_of_range(self, tiny_app):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="out of range"):
+            tiny_app.execution_config(ExecutionMode.COMBINED, threshold_index=99)
