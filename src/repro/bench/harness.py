@@ -824,3 +824,109 @@ def ablation_exact_relevance(ctx: ExperimentContext | None = None, app: str = "M
         title=f"Ablation — relevance formula ({app}, alpha at upper limit)",
     )
     return {"paper": paper, "exact": exact}, report
+
+
+def serve_bench(
+    mode: ExecutionMode = ExecutionMode.COMBINED,
+    sequences: int = 16,
+    workers: int = 2,
+    max_batch: int = 8,
+    queue_depth: int = 16,
+    dwell_s: float = 0.0,
+    hidden_size: int = 64,
+    num_layers: int = 2,
+    seq_length: int = 64,
+    seed: int = 11,
+    record_path: str | None = None,
+):
+    """Drive the serving runtime once and report fleet-level figures.
+
+    Builds the executor-benchmark workload geometry, serves ``sequences``
+    random sequences through an :class:`~repro.runtime.pool.
+    InferenceRuntime` with the given worker/queue settings, verifies the
+    outputs bit-for-bit against an in-process
+    :class:`~repro.core.executor.LSTMExecutor` run per dispatch group
+    (the runtime's numerics contract), and optionally writes the merged
+    fleet :class:`~repro.obs.record.RunRecord` as JSONL.
+
+    Returns ``(stats, report)``: a flat dict and an ASCII table. Backs the
+    ``repro serve-bench`` CLI and the CI runtime smoke job.
+    """
+    from repro.config import LSTMConfig
+    from repro.core.executor import ExecutionConfig, LSTMExecutor
+    from repro.nn.network import LSTMNetwork
+    from repro.obs import Recorder, write_jsonl
+    from repro.runtime import InferenceRuntime, leaked_segments
+
+    config = LSTMConfig(
+        hidden_size=hidden_size,
+        num_layers=num_layers,
+        seq_length=seq_length,
+        input_size=hidden_size,
+    )
+    network = LSTMNetwork(config, vocab_size=200, num_classes=8, seed=seed)
+    rng = np.random.default_rng(seed + 12)
+    tokens = rng.integers(0, 200, size=(sequences, seq_length))
+    if mode is ExecutionMode.COMBINED:
+        exec_config = ExecutionConfig(mode=mode, alpha_inter=1e12, alpha_intra=0.05, mts=5)
+    elif mode is ExecutionMode.INTER:
+        exec_config = ExecutionConfig(mode=mode, alpha_inter=1e12, mts=5)
+    elif mode is ExecutionMode.INTRA:
+        exec_config = ExecutionConfig(mode=mode, alpha_intra=0.05)
+    else:
+        exec_config = ExecutionConfig(mode=mode)
+
+    recorder = Recorder()
+    runtime = InferenceRuntime(
+        network,
+        exec_config,
+        workers=workers,
+        max_batch=max_batch,
+        queue_depth=queue_depth,
+        dwell_s=dwell_s,
+        recorder=recorder,
+    )
+    with runtime:
+        fleet = runtime.run_batch(tokens)
+
+    executor = LSTMExecutor(network, exec_config)
+    bit_identical = True
+    for group in runtime.scheduler.plan_dispatch(tokens):
+        expected = executor.run_batch(group.tokens)
+        for row, index in enumerate(group.indices):
+            if not np.array_equal(expected.logits[row], fleet.logits[index]):
+                bit_identical = False
+
+    leaks = leaked_segments()
+    stats = {
+        "mode": mode.value,
+        "sequences": sequences,
+        "workers": workers,
+        "max_batch": max_batch,
+        "queue_depth": queue_depth,
+        "dwell_s": dwell_s,
+        "shards": fleet.num_shards,
+        "plan_groups": len(fleet.groups),
+        "wall_s": fleet.wall_s,
+        "throughput_seq_s": fleet.throughput_seq_s,
+        "bit_identical": bit_identical,
+        "leaked_segments": len(leaks),
+    }
+    if record_path is not None and fleet.record is not None:
+        write_jsonl([fleet.record], record_path)
+    report = format_table(
+        ["Metric", "Value"],
+        [
+            ("mode", mode.value),
+            ("sequences", sequences),
+            ("workers", workers),
+            ("dispatched shards", fleet.num_shards),
+            ("plan groups", len(fleet.groups)),
+            ("wall clock", f"{fleet.wall_s * 1e3:.1f} ms"),
+            ("throughput", f"{fleet.throughput_seq_s:.1f} seq/s"),
+            ("bit-identical vs executor", str(bit_identical)),
+            ("leaked shm segments", len(leaks)),
+        ],
+        title=f"Serving runtime — {mode.value}, {workers} worker(s)",
+    )
+    return stats, report

@@ -1,11 +1,12 @@
 """Command-line interface for the reproduction.
 
-Five subcommands::
+Six subcommands::
 
     repro info                         # Table I + Table II
     repro run BABI --mode combined --set 4 --sequences 8
     repro sweep MR --mode combined     # the Fig. 19 row for one app
     repro figure fig14 --apps MR,PTB   # regenerate a paper figure
+    repro serve-bench --workers 2 --sequences 16 --mode combined
     repro trace record MR --out runs.jsonl --chrome trace.json
     repro trace summarize runs.jsonl
     repro trace diff base.jsonl other.jsonl
@@ -81,6 +82,35 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=FIGURES)
     figure.add_argument(
         "--apps", default=None, help="comma-separated app subset (default: all)"
+    )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the sharded serving runtime once and report fleet figures",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=[m.value for m in ExecutionMode],
+        default="combined",
+        help="execution scheme to serve",
+    )
+    serve.add_argument("--sequences", type=int, default=16, help="fleet batch size")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker process count (0 = synchronous in-process fallback)",
+    )
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="largest dispatched shard")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="bound on in-flight shards (backpressure window)")
+    serve.add_argument(
+        "--dwell-ms", type=float, default=0.0,
+        help="modeled per-sequence device dwell in the workers (ms)",
+    )
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument(
+        "--record", default=None,
+        help="write the merged fleet RunRecord to this JSONL path",
     )
 
     trace = sub.add_parser(
@@ -228,6 +258,32 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.bench.harness import serve_bench
+
+    mode = ExecutionMode(args.mode)
+    stats, report = serve_bench(
+        mode=mode,
+        sequences=args.sequences,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        dwell_s=args.dwell_ms / 1e3,
+        seed=args.seed,
+        record_path=args.record,
+    )
+    print(report)
+    if args.record:
+        print(f"wrote merged fleet record to {args.record}")
+    if not stats["bit_identical"]:
+        print("repro: error: fleet outputs diverged from the executor", file=sys.stderr)
+        return 1
+    if stats["leaked_segments"]:
+        print("repro: error: leaked shared-memory segments remain", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace_record(args) -> int:
     from repro.core.pipeline import OptimizedLSTM
     from repro.obs import Recorder, write_chrome_trace, write_jsonl
@@ -297,6 +353,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
+    "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
 }
 

@@ -193,6 +193,7 @@ class _UnitedWeights:
     u: np.ndarray  # (4H, H)
     b: np.ndarray  # (4H,)
     slices: dict[str, slice]
+    _gate_ops: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
 
     @classmethod
     def from_weights(cls, weights: LSTMCellWeights) -> "_UnitedWeights":
@@ -204,6 +205,31 @@ class _UnitedWeights:
         return cls(
             w=weights.united_w(), u=weights.united_u(), b=weights.united_b(), slices=slices
         )
+
+    def gate_ops(self) -> dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-gate operands for the stepwise loops.
+
+        Maps each gate in :data:`~repro.nn.lstm_cell.GATE_ORDER` to
+        ``(w, u, b)`` — row-major ``(H, E)`` / ``(H, H)`` slices of the
+        united matrices plus the bias slice, consumed as ``x @ w.T`` /
+        ``h @ u.T`` exactly like the reference walk. The stepwise loops run
+        four narrow per-gate products instead of one wide fused GEMM: on
+        cache-starved CPU cores the ``(B, 4H)`` fused pre-activation plus
+        its strided per-gate slices spills the cache during the elementwise
+        tail, and measures ~1.7x slower per step than per-gate ``(B, H)``
+        work. The operands stay row-major transpose *views* (never
+        re-laid-out copies) so BLAS takes the same transposed-kernel path
+        as the reference and the reduction order — hence every bit —
+        matches. The fused layout remains the right call for the
+        tissue-grouped COMBINED path, where whole sublayer spans feed each
+        product. Built lazily once per layer.
+        """
+        if self._gate_ops is None:
+            self._gate_ops = {
+                gate: (self.w[sl], self.u[sl], self.b[sl])
+                for gate, sl in self.slices.items()
+            }
+        return self._gate_ops
 
 
 class LSTMExecutor:
@@ -358,11 +384,12 @@ class LSTMExecutor:
         self, layer_index: int, weights: LSTMCellWeights, xs: np.ndarray
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
         united = self._united[layer_index]
-        proj_u = xs @ united.w.T  # (B, T, 4H) — one fused input GEMM
         if self.config.mode is ExecutionMode.COMBINED:
-            plans = self._plan_inter(layer_index, weights, united, proj_u, xs)
+            proj_u = xs @ united.w.T  # (B, T, 4H) — one fused input GEMM
+            proj = {g: proj_u[..., united.slices[g]] for g in GATE_ORDER}
+            plans = self._plan_inter(layer_index, weights, proj, xs)
             return self._run_layer_combined(layer_index, weights, united, proj_u, plans)
-        return self._run_layer_stepwise(layer_index, weights, united, proj_u, xs)
+        return self._run_layer_stepwise(layer_index, weights, united, xs)
 
     def _relevance(self, layer_index: int, weights, proj_b: dict[str, np.ndarray]):
         fn = exact_relevance_values if self.config.use_exact_relevance else relevance_values
@@ -390,15 +417,13 @@ class LSTMExecutor:
         self,
         layer_index: int,
         weights: LSTMCellWeights,
-        united: _UnitedWeights,
-        proj_u: np.ndarray,
+        proj: dict[str, np.ndarray],
         xs: np.ndarray,
     ) -> list[CachedLayerPlan]:
         """Per-sequence structural plans, served from the cache when wired."""
         cfg = self.config
         plan_start = time.perf_counter()
-        batch, seq_len, _ = proj_u.shape
-        proj = {g: proj_u[..., united.slices[g]] for g in GATE_ORDER}
+        batch, seq_len, _ = xs.shape
         cache = self.plan_cache
         weights_fp = fingerprint_weights(weights) if cache is not None else None
         plans = []
@@ -435,20 +460,38 @@ class LSTMExecutor:
         layer_index: int,
         weights: LSTMCellWeights,
         united: _UnitedWeights,
-        proj_u: np.ndarray,
         xs: np.ndarray,
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
-        """Fused-gate batched timestep loop for every mode except COMBINED."""
+        """Per-gate batched timestep loop for every mode except COMBINED.
+
+        Four narrow per-gate products per step instead of one fused
+        ``(B, 4H)`` GEMM — see :meth:`_UnitedWeights.gate_ops` for why the
+        narrow layout wins on CPU. Each gate's value is the same ``K``-wide
+        dot product either way, so outputs stay bit-identical.
+        """
         cfg = self.config
-        batch, seq_len, _ = proj_u.shape
+        if cfg.intra_active and cfg.alpha_intra > 0.0:
+            # INTRA never divides the layer (inter level off), so the DRS
+            # loop needs no breakpoint handling.
+            return self._run_layer_stepwise_drs(layer_index, weights, united, xs)
+        batch, seq_len, _ = xs.shape
         hidden = weights.hidden_size
         link = self.predicted_links[layer_index]
-        sl = united.slices
+        ops = united.gate_ops()
+        w_f, u_f, b_f = ops["f"]
+        w_i, u_i, b_i = ops["i"]
+        w_c, u_c, b_c = ops["c"]
+        w_o, u_o, b_o = ops["o"]
+        proj_f = xs @ w_f.T  # (B, T, H) per gate, contiguous
+        proj_i = xs @ w_i.T
+        proj_c = xs @ w_c.T
+        proj_o = xs @ w_o.T
 
         break_mask = np.zeros((batch, seq_len), dtype=bool)
         plans: list[CachedLayerPlan] | None = None
         if cfg.inter_active:
-            plans = self._plan_inter(layer_index, weights, united, proj_u, xs)
+            proj = {"f": proj_f, "i": proj_i, "c": proj_c, "o": proj_o}
+            plans = self._plan_inter(layer_index, weights, proj, xs)
             for b, plan in enumerate(plans):
                 for start in plan.breakpoints:
                     break_mask[b, start] = True
@@ -466,19 +509,11 @@ class LSTMExecutor:
                 h = np.where(reset, link.h_bar[None, :], h)
                 c = np.where(reset, link.c_bar[None, :], c)
 
-            # One (B, 4H) fused gate GEMM per timestep; per-gate slices are
-            # bit-identical to four separate (B, H) products.
-            pre = proj_u[:, t] + h @ united.u.T + united.b
-            o = sigmoid(pre[:, sl["o"]])
-            f = sigmoid(pre[:, sl["f"]])
-            i = sigmoid(pre[:, sl["i"]])
-            g = tanh(pre[:, sl["c"]])
+            f = sigmoid(proj_f[:, t] + h @ u_f.T + b_f)
+            i = sigmoid(proj_i[:, t] + h @ u_i.T + b_i)
+            g = tanh(proj_c[:, t] + h @ u_c.T + b_c)
+            o = sigmoid(proj_o[:, t] + h @ u_o.T + b_o)
             c = f * c + i * g
-            if cfg.intra_active and cfg.alpha_intra > 0.0:
-                masks = o < cfg.alpha_intra  # (B, H)
-                c = np.where(masks, 0.0, c)
-                skip_fracs[:, t] = masks.mean(axis=1)
-                warp_fracs[:, t] = _warp_skip_fractions(masks)
             h = o * tanh(c)
             hs[:, t] = h
             if cs is not None:
@@ -497,6 +532,101 @@ class LSTMExecutor:
                     warp_fracs[b],
                 )
             )
+        return hs, records
+
+    def _run_layer_stepwise_drs(
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        united: _UnitedWeights,
+        xs: np.ndarray,
+    ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
+        """Row-compacted DRS timestep loop (INTRA with a live threshold).
+
+        Algorithm 3 taken literally instead of compute-then-zero: with the
+        per-gate operand layout the output gate costs the same as any other
+        gate, so every step computes ``o_t`` first and its mask picks the
+        trivial rows. On steps where some row is trivial across the *whole*
+        batch, the ``f``/``i``/``c`` work is gathered to the surviving
+        columns, computed compacted, and scattered back into the cell
+        state — dropped rows never see a bias add, an activation, or a
+        cell update.
+
+        One deliberate asymmetry with the paper's GPU kernel: the
+        ``h @ U_g^T`` products stay full width. A mobile GPU's DRS kernel
+        skips output rows inside the kernel, where every output element is
+        an independent dot product; CPU BLAS does not expose that
+        guarantee — gathering columns of ``U_g^T`` changes the GEMM's
+        ``N`` dimension, which changes OpenBLAS's kernel/blocking choice
+        and hence the reduction order, and measured mismatch rates for
+        column-subset products on this platform are 2-70 % across
+        ``(B, H)`` shapes. Shrinking the product would therefore break the
+        frozen bit-identity contract with :class:`~repro.core.reference.
+        ReferenceExecutor`. Everything elementwise *after* the product is
+        subset-safe (ufuncs are per-element), so the compaction covers the
+        pre-activation adds, both activations, and the cell update, and
+        stays bit-identical: surviving elements go through the same
+        ``(x + hU) + b`` chain, dropped elements are exactly ``0.0`` on
+        both sides.
+
+        The skip/warp statistics are accumulated as raw masks and reduced
+        once per layer, replacing the two per-timestep reductions that made
+        the batched INTRA path slower than the seed walk.
+        """
+        cfg = self.config
+        batch, seq_len, _ = xs.shape
+        hidden = weights.hidden_size
+        alpha = cfg.alpha_intra
+        ops = united.gate_ops()
+        w_f, u_f, b_f = ops["f"]
+        w_i, u_i, b_i = ops["i"]
+        w_c, u_c, b_c = ops["c"]
+        w_o, u_o, b_o = ops["o"]
+        proj_f = xs @ w_f.T  # (B, T, H) per gate, contiguous
+        proj_i = xs @ w_i.T
+        proj_c = xs @ w_c.T
+        proj_o = xs @ w_o.T
+
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        hs = np.empty((batch, seq_len, hidden))
+        cs = np.empty((batch, seq_len, hidden)) if self._collect_states else None
+        masks_all = np.empty((batch, seq_len, hidden), dtype=bool)
+
+        for t in range(seq_len):
+            o = sigmoid(proj_o[:, t] + h @ u_o.T + b_o)
+            masks = o < alpha  # (B, H)
+            masks_all[:, t] = masks
+            dropped = masks.all(axis=0)
+            if dropped.any():
+                alive = np.flatnonzero(~dropped)
+                f = sigmoid(proj_f[:, t, alive] + (h @ u_f.T)[:, alive] + b_f[alive])
+                i = sigmoid(proj_i[:, t, alive] + (h @ u_i.T)[:, alive] + b_i[alive])
+                g = tanh(proj_c[:, t, alive] + (h @ u_c.T)[:, alive] + b_c[alive])
+                c_next = np.zeros((batch, hidden))
+                c_next[:, alive] = np.where(
+                    masks[:, alive], 0.0, f * c[:, alive] + i * g
+                )
+                c = c_next
+            else:
+                f = sigmoid(proj_f[:, t] + h @ u_f.T + b_f)
+                i = sigmoid(proj_i[:, t] + h @ u_i.T + b_i)
+                g = tanh(proj_c[:, t] + h @ u_c.T + b_c)
+                c = np.where(masks, 0.0, f * c + i * g)
+            h = o * tanh(c)
+            hs[:, t] = h
+            if cs is not None:
+                cs[:, t] = c
+        self._last_states = cs
+
+        skip_fracs = masks_all.mean(axis=2)  # (B, T)
+        warp_fracs = _warp_skip_fractions(masks_all)
+        records = [
+            self._stepwise_record(
+                layer_index, weights, seq_len, None, skip_fracs[b], warp_fracs[b]
+            )
+            for b in range(batch)
+        ]
         return hs, records
 
     def _stepwise_record(
@@ -528,11 +658,15 @@ class LSTMExecutor:
             sublayer_lengths = [sub.length for sub in plan.sublayers]
             relevance = plan.relevance
         else:
+            # tolist() converts to plain Python floats in one C pass —
+            # identical values, far cheaper than 2*T numpy-scalar casts.
+            skip_list = np.asarray(skip_fracs).tolist()
+            warp_list = np.asarray(warp_fracs).tolist()
             tissue_records = [
                 TissueRecord(
                     cells=[(0, t)],
-                    skip_fraction=float(skip_fracs[t]),
-                    warp_skip_fraction=float(warp_fracs[t]),
+                    skip_fraction=skip_list[t],
+                    warp_skip_fraction=warp_list[t],
                 )
                 for t in range(seq_len)
             ]

@@ -206,6 +206,24 @@ def fingerprint_weights(weights: "LSTMCellWeights") -> str:
     return fingerprint
 
 
+def fingerprint_network(network) -> str:
+    """Content fingerprint of a whole :class:`~repro.nn.network.LSTMNetwork`.
+
+    Combines the embedding table, every layer's cell-weight fingerprint
+    (:func:`fingerprint_weights`), and the head parameters — anything that
+    can change a logit bit. The serving runtime keys its shared-memory
+    weight arena on this digest, so two runtimes publishing the same
+    network never collide with two publishing different ones.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(fingerprint_array(network.embedding).encode())
+    for layer in network.layers:
+        digest.update(fingerprint_weights(layer.weights).encode())
+    digest.update(fingerprint_array(network.head_weight).encode())
+    digest.update(fingerprint_array(network.head_bias).encode())
+    return digest.hexdigest()
+
+
 class PlanCache:
     """Memoizes per-sequence structural planning across executions.
 

@@ -32,5 +32,19 @@ class SimulationError(ReproError):
     """The GPU timing simulator was driven with an impossible workload."""
 
 
+class BackpressureError(ReproError):
+    """The serving runtime's bounded request queue is full.
+
+    Raised by non-blocking submission when accepting the shard would push
+    the number of in-flight dispatches past the configured queue depth.
+    Callers either retry after collecting results or submit blocking.
+    """
+
+
+class RuntimeStateError(ReproError):
+    """The serving runtime was used outside its lifecycle (not started,
+    already closed, or a worker died)."""
+
+
 class CalibrationError(ReproError):
     """Offline calibration (MTS search, threshold tuning) failed to converge."""

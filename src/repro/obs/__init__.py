@@ -22,6 +22,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.merge import merge_run_records
 from repro.obs.record import (
     KernelEvent,
     LayerObservation,
@@ -50,6 +51,7 @@ __all__ = [
     "diff_runs",
     "format_diff",
     "format_run_summary",
+    "merge_run_records",
     "read_jsonl",
     "validate_chrome_trace",
     "validate_chrome_trace_file",

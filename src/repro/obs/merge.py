@@ -1,0 +1,90 @@
+"""Merging per-worker run records into one fleet record.
+
+The serving runtime records each dispatched shard in the worker that
+executed it; the parent stitches those shard records into a single
+:class:`~repro.obs.record.RunRecord` that is schema-identical to a
+single-process run over the whole batch — same ``repro.obs/run/v1``
+stamp, one sequence observation per original batch position, additive
+timing/simulated/cache totals. Downstream consumers (``trace
+summarize``/``diff``, the schema validator) need not know a fleet ran.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.obs.record import RunRecord
+
+
+def merge_run_records(
+    records: list[RunRecord], label: str = "fleet", reindex: bool = False
+) -> RunRecord:
+    """Merge shard records into one run record.
+
+    Args:
+        records: One record per shard. ``mode``/``spec``/``seq_length``/
+            ``config`` must agree across shards (they describe the same
+            deployment); the merged record inherits them.
+        label: Label of the merged record.
+        reindex: Renumber sequence observations (and their kernel events)
+            consecutively in the given record order. Leave ``False`` when
+            the producers already stamped original batch positions, as
+            the runtime workers do.
+
+    Returns:
+        The merged record, with sequences sorted by ``seq_index``.
+    """
+    if not records:
+        raise ConfigurationError("cannot merge an empty list of run records")
+    first = records[0]
+    for other in records[1:]:
+        for attr in ("mode", "spec", "seq_length"):
+            if getattr(other, attr) != getattr(first, attr):
+                raise ConfigurationError(
+                    f"cannot merge run records with differing {attr}: "
+                    f"{getattr(first, attr)!r} vs {getattr(other, attr)!r}"
+                )
+        if other.config != first.config:
+            raise ConfigurationError("cannot merge run records with differing config")
+
+    sequences = []
+    kernels = []
+    timing: dict[str, float] = {}
+    simulated: dict[str, float] = {}
+    cache: dict[str, int] | None = None
+    offset = 0
+    for record in records:
+        mapping: dict[int, int] = {}
+        for seq in record.sequences:
+            if reindex:
+                mapping[seq.seq_index] = offset
+                seq.seq_index = offset
+                offset += 1
+            sequences.append(seq)
+        for event in record.kernels:
+            if reindex and event.seq_index in mapping:
+                event.seq_index = mapping[event.seq_index]
+            kernels.append(event)
+        for key, value in record.timing.items():
+            timing[key] = timing.get(key, 0.0) + value
+        for key, value in record.simulated.items():
+            simulated[key] = simulated.get(key, 0.0) + value
+        if record.cache is not None:
+            if cache is None:
+                cache = {}
+            for key, value in record.cache.items():
+                cache[key] = cache.get(key, 0) + value
+    sequences.sort(key=lambda seq: seq.seq_index)
+    kernels.sort(key=lambda event: (event.seq_index, event.index))
+    return RunRecord(
+        label=label,
+        mode=first.mode,
+        spec=first.spec,
+        batch=sum(record.batch for record in records),
+        seq_length=first.seq_length,
+        config=dict(first.config),
+        timing=timing,
+        simulated=simulated,
+        cache=cache,
+        sequences=sequences,
+        kernels=kernels,
+    )

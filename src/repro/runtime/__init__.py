@@ -1,0 +1,32 @@
+"""Parallel sharded serving runtime (``repro.runtime``).
+
+The paper's memory-friendliness principle — load the recurrent weights
+once, amortize them across every cell that needs them — applied at
+process scale: an :class:`InferenceRuntime` publishes the network's
+parameters once into a shared-memory :class:`WeightArena`, shards
+incoming sequences across a worker pool that attaches those same pages,
+and groups queued sequences fleet-wide by structural plan signature
+(:class:`FleetScheduler`) before dispatch, so the batched executor's
+combined-mode plan grouping fires across all in-flight requests instead
+of within one caller's batch. A bounded request queue provides
+backpressure; per-worker run records merge into a single fleet record
+(:func:`repro.obs.merge.merge_run_records`); ``workers=0`` degenerates
+to a bit-identical synchronous :class:`~repro.core.executor.LSTMExecutor`
+call.
+"""
+
+from repro.runtime.arena import ArenaManifest, WeightArena, leaked_segments
+from repro.runtime.pool import InferenceRuntime
+from repro.runtime.results import FleetResult, ShardResult
+from repro.runtime.scheduler import DispatchGroup, FleetScheduler
+
+__all__ = [
+    "ArenaManifest",
+    "DispatchGroup",
+    "FleetResult",
+    "FleetScheduler",
+    "InferenceRuntime",
+    "ShardResult",
+    "WeightArena",
+    "leaked_segments",
+]

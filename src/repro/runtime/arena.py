@@ -1,0 +1,249 @@
+"""Shared-memory weight arena: publish a network once, attach everywhere.
+
+The paper's tissue insight is that the recurrent matrix ``U`` should be
+loaded once and amortized across every fused cell. The serving runtime
+lifts the same principle to process scale: the parent publishes every
+parameter array of an :class:`~repro.nn.network.LSTMNetwork` into one
+``multiprocessing.shared_memory`` segment, and each worker *attaches* —
+mapping the same physical pages read-only — instead of receiving a
+pickled copy per task. The segment is keyed by
+:func:`~repro.core.plan.fingerprint_network`, so a manifest can never be
+attached to the wrong weights.
+
+Layout: one block, each array at a 64-byte-aligned offset (at least the
+alignment numpy's own allocator guarantees, so attached views take the
+same BLAS kernel paths as parent-owned arrays — a bit-identity
+requirement, see ``tests/test_runtime.py``). The
+:class:`ArenaManifest` carries only names, offsets, shapes, and dtypes —
+it is small and travels through the spawn pickling of worker arguments.
+
+Lifecycle: the publishing side owns the segment (``close()`` +
+``unlink()``); attaching sides only ``close()``. Attached segments are
+unregistered from Python's ``resource_tracker`` because the *owner* is
+responsible for unlinking — otherwise every worker exit would tear the
+segment down under the others (and spam leak warnings on 3.10–3.12).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import LSTMConfig
+from repro.core.plan import fingerprint_network
+from repro.errors import ConfigurationError, RuntimeStateError
+from repro.nn.lstm_cell import LSTMCellWeights
+from repro.nn.lstm_layer import LSTMLayer
+from repro.nn.network import LSTMNetwork
+
+#: Per-array alignment inside the segment (bytes).
+_ALIGN = 64
+
+#: Shared-memory name prefix; the CI smoke job greps ``/dev/shm`` for it.
+ARENA_NAME_PREFIX = "repro-arena-"
+
+#: The twelve per-gate arrays of one layer, in manifest order.
+_CELL_FIELDS = (
+    "w_f", "w_i", "w_c", "w_o",
+    "u_f", "u_i", "u_c", "u_o",
+    "b_f", "b_i", "b_c", "b_o",
+)
+
+
+@dataclass(frozen=True)
+class ArenaEntry:
+    """Location of one parameter array inside the segment."""
+
+    key: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ArenaManifest:
+    """Everything a worker needs to rebuild the network from the segment.
+
+    Small and picklable (no arrays) — the weights themselves travel only
+    as shared pages.
+    """
+
+    shm_name: str
+    fingerprint: str
+    total_bytes: int
+    config: LSTMConfig
+    vocab_size: int
+    num_classes: int
+    per_timestep_head: bool
+    head_pool: int
+    entries: tuple[ArenaEntry, ...] = field(default_factory=tuple)
+
+
+def _network_arrays(network: LSTMNetwork) -> list[tuple[str, np.ndarray]]:
+    """Flatten every parameter array to ``(key, array)`` in a fixed order."""
+    arrays: list[tuple[str, np.ndarray]] = [("embedding", network.embedding)]
+    for index, layer in enumerate(network.layers):
+        for name in _CELL_FIELDS:
+            arrays.append((f"layers.{index}.{name}", getattr(layer.weights, name)))
+    arrays.append(("head_weight", network.head_weight))
+    arrays.append(("head_bias", network.head_bias))
+    return arrays
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class WeightArena:
+    """One published (or attached) shared-memory weight segment.
+
+    Use :meth:`publish` in the serving parent and :meth:`attach` in
+    workers; both sides support the context-manager protocol. Only the
+    publishing side unlinks.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, manifest: ArenaManifest, owner: bool
+    ) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.manifest = manifest
+        self.owner = owner
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def publish(cls, network: LSTMNetwork) -> "WeightArena":
+        """Copy every parameter of ``network`` into a fresh segment."""
+        arrays = _network_arrays(network)
+        offsets: list[int] = []
+        cursor = 0
+        for _, array in arrays:
+            cursor = _align(cursor)
+            offsets.append(cursor)
+            cursor += array.nbytes
+        fingerprint = fingerprint_network(network)
+        # The fingerprint keys the *weights*; the random suffix keeps two
+        # simultaneous runtimes serving the same network from colliding.
+        name = f"{ARENA_NAME_PREFIX}{fingerprint[:12]}-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(cursor, 1))
+        entries = []
+        for (key, array), offset in zip(arrays, offsets):
+            entries.append(
+                ArenaEntry(
+                    key=key,
+                    offset=offset,
+                    shape=tuple(array.shape),
+                    dtype=str(array.dtype),
+                )
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset)
+            view[...] = array
+        manifest = ArenaManifest(
+            shm_name=shm.name,
+            fingerprint=fingerprint,
+            total_bytes=cursor,
+            config=network.config,
+            vocab_size=network.vocab_size,
+            num_classes=network.num_classes,
+            per_timestep_head=network.per_timestep_head,
+            head_pool=network.head_pool,
+            entries=tuple(entries),
+        )
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: ArenaManifest) -> "WeightArena":
+        """Map an already-published segment (read-only views)."""
+        shm = shared_memory.SharedMemory(name=manifest.shm_name)
+        # Attaching registered us with the resource tracker as if we owned
+        # the segment; the publishing process owns it, so hand back the
+        # claim (otherwise the first worker to exit unlinks it for all).
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return cls(shm, manifest, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; idempotent)."""
+        if not self.owner:
+            return
+        try:
+            shared_memory.SharedMemory(name=self.manifest.shm_name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "WeightArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    # -------------------------------------------------------------- access
+
+    def _view(self, entry: ArenaEntry) -> np.ndarray:
+        if self._shm is None:
+            raise RuntimeStateError("weight arena is closed")
+        view = np.ndarray(
+            entry.shape,
+            dtype=np.dtype(entry.dtype),
+            buffer=self._shm.buf,
+            offset=entry.offset,
+        )
+        view.setflags(write=False)
+        return view
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Read-only views of every published array, keyed by manifest key."""
+        return {entry.key: self._view(entry) for entry in self.manifest.entries}
+
+    def network(self) -> LSTMNetwork:
+        """Rebuild the network on top of the shared pages (no copies).
+
+        The returned network's parameter arrays are read-only views into
+        the segment; it must not outlive this arena's mapping.
+        """
+        views = self.arrays()
+        manifest = self.manifest
+        network = LSTMNetwork.__new__(LSTMNetwork)
+        network.config = manifest.config
+        network.vocab_size = manifest.vocab_size
+        network.num_classes = manifest.num_classes
+        network.per_timestep_head = manifest.per_timestep_head
+        network.head_pool = manifest.head_pool
+        network.embedding = views["embedding"]
+        network.layers = []
+        for index in range(manifest.config.num_layers):
+            fields = {name: views[f"layers.{index}.{name}"] for name in _CELL_FIELDS}
+            network.layers.append(LSTMLayer(LSTMCellWeights(**fields)))
+        network.head_weight = views["head_weight"]
+        network.head_bias = views["head_bias"]
+        if fingerprint_network(network) != manifest.fingerprint:
+            raise ConfigurationError(
+                "attached weight arena does not match its manifest fingerprint"
+            )
+        return network
+
+
+def leaked_segments(shm_dir: str = "/dev/shm") -> list[str]:
+    """Names of repro arena segments still present on this host.
+
+    Used by the tests and the CI smoke job to assert clean teardown; on
+    platforms without a ``/dev/shm`` the check degrades to "none found".
+    """
+    root = Path(shm_dir)
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob(f"{ARENA_NAME_PREFIX}*"))

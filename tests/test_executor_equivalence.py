@@ -10,13 +10,15 @@ Two families of properties, both over all five execution modes:
   verbatim seed arithmetic.
 
 * **Per-sequence vs batched.** Running each sequence alone must reproduce
-  the batch run. Plans are compared exactly in every mode. Trajectories
-  are bit-exact in combined mode (the grouped ``(1, k, H)`` matmul
-  dispatches the same per-slice GEMM as any group size); for the stepwise
-  modes a ``(1, H)`` recurrence dispatches GEMV while a ``(B, H)`` batch
-  dispatches GEMM — BLAS does not promise those agree bit for bit (the
-  seed had the same property) — so the numeric comparison there is a tight
-  ``allclose``.
+  the batch run. Trajectories and plans are bit-exact in combined mode
+  (the grouped ``(1, k, H)`` matmul dispatches the same per-slice GEMM as
+  any group size); for the stepwise modes a ``(1, H)`` recurrence
+  dispatches GEMV while a ``(B, H)`` batch dispatches GEMM — BLAS does
+  not promise those agree bit for bit (the seed had the same property) —
+  so the numeric comparison there is a tight ``allclose``, for the
+  trajectories and for the plan floats of layers fed by them (first-layer
+  plans, computed from the batch-invariant embedding projections, stay
+  bit-exact).
 """
 
 from __future__ import annotations
@@ -42,12 +44,26 @@ VOCAB = 40
 CLASSES = 4
 
 
-def assert_plans_equal(plans_a, plans_b) -> None:
-    """Structural equality of two SequencePlan lists (incl. skip stats)."""
+def assert_plans_equal(plans_a, plans_b, *, exact_floats_above_layer0=True) -> None:
+    """Structural equality of two SequencePlan lists (incl. skip stats).
+
+    ``exact_floats_above_layer0=False`` relaxes the *float* fields
+    (relevance, skip fractions) of layers past the first to a tight
+    allclose. Those fields derive from the previous layer's ``h``
+    trajectory, which across *batch sizes* only matches to GEMV-vs-GEMM
+    tolerance in the stepwise modes — so bit-equality is not a property
+    the executor (old or new) ever guaranteed there; hypothesis
+    eventually finds 2-layer counterexamples. Structure (breakpoints,
+    sublayer lengths, tissue cells) is still compared exactly: a
+    last-bit wobble only flips structure when a relevance value straddles
+    the threshold within one ulp, which random continuous weights do not
+    produce.
+    """
     assert len(plans_a) == len(plans_b)
     for plan_a, plan_b in zip(plans_a, plans_b):
         assert len(plan_a.layers) == len(plan_b.layers)
         for rec_a, rec_b in zip(plan_a.layers, plan_b.layers):
+            exact = exact_floats_above_layer0 or rec_a.layer_index == 0
             assert rec_a.layer_index == rec_b.layer_index
             assert rec_a.seq_length == rec_b.seq_length
             assert rec_a.breakpoints == rec_b.breakpoints
@@ -55,12 +71,27 @@ def assert_plans_equal(plans_a, plans_b) -> None:
             assert len(rec_a.tissues) == len(rec_b.tissues)
             for t_a, t_b in zip(rec_a.tissues, rec_b.tissues):
                 assert t_a.cells == t_b.cells
-                assert t_a.skip_fraction == t_b.skip_fraction
-                assert t_a.warp_skip_fraction == t_b.warp_skip_fraction
+                if exact:
+                    assert t_a.skip_fraction == t_b.skip_fraction
+                    assert t_a.warp_skip_fraction == t_b.warp_skip_fraction
+                else:
+                    np.testing.assert_allclose(
+                        t_a.skip_fraction, t_b.skip_fraction, rtol=1e-9, atol=1e-11
+                    )
+                    np.testing.assert_allclose(
+                        t_a.warp_skip_fraction,
+                        t_b.warp_skip_fraction,
+                        rtol=1e-9,
+                        atol=1e-11,
+                    )
             if rec_a.relevance is None:
                 assert rec_b.relevance is None
-            else:
+            elif exact:
                 assert np.array_equal(rec_a.relevance, rec_b.relevance)
+            else:
+                np.testing.assert_allclose(
+                    rec_a.relevance, rec_b.relevance, rtol=1e-9, atol=1e-11
+                )
 
 
 @st.composite
@@ -151,7 +182,15 @@ class TestPerSequenceMatchesBatch:
         batch_out = executor.run_batch(tokens)
         for b in range(tokens.shape[0]):
             solo = executor.run_batch(tokens[b : b + 1])
-            assert_plans_equal(solo.plans, [batch_out.plans[b]])
+            # Combined mode walks every layer per sequence, so even deep
+            # layers see bit-identical inputs at any batch size; stepwise
+            # modes propagate GEMV-vs-GEMM wobble into layer>=1 inputs,
+            # so the derived plan floats get the trajectory tolerance.
+            assert_plans_equal(
+                solo.plans,
+                [batch_out.plans[b]],
+                exact_floats_above_layer0=config.mode is ExecutionMode.COMBINED,
+            )
             if config.mode is ExecutionMode.COMBINED:
                 # The grouped walk dispatches the same per-slice GEMM for
                 # any group size, so the trajectories are bit-exact. (The
