@@ -1,21 +1,38 @@
 """Benchmark-regression gate: batched executor vs the seed per-sequence walk.
 
-Times :class:`repro.core.executor.LSTMExecutor` (united-gate GEMMs, grouped
-combined mode, plan cache) against :class:`repro.core.reference.
-ReferenceExecutor` (the frozen seed arithmetic) on the same workloads,
-verifies bit-identical outputs, writes ``BENCH_executor.json``, and exits
-non-zero if the batched executor regresses:
+Times :class:`repro.core.executor.LSTMExecutor` — in its default
+``compile=True`` form *and* with the interpreted loops — against
+:class:`repro.core.reference.ReferenceExecutor` (the frozen seed
+arithmetic) on the same workloads, verifies bit-identical outputs, writes
+``BENCH_executor.json``, and exits non-zero if the executor regresses:
 
 * every mode must be at least as fast as the reference (guard band below),
-* combined mode on the 64-sequence workload must be >= 2x faster,
+* combined mode on the 64-sequence workload must be >= 2x faster and the
+  DRS (intra) mode >= 1.2x (the compiled-program bar),
+* the compiled path must be >= 1.3x over the interpreted batched executor
+  on the combined workload,
 * attaching an enabled :class:`repro.obs.recorder.Recorder` must not
   change a logits bit and must stay under a 5 % wall-clock overhead.
 
+Program-compile wall time is recorded separately (``compile_wall_cold_s``
+per mode) and **excluded from every speedup gate**: the warm-up
+iterations populate the program cache before sampling starts, and the
+gate asserts that no timed sample recompiled anything
+(``compile_wall_steady_s`` must be exactly 0).
+
 Timing discipline (anti-flake): each executor gets ``WARMUP`` untimed
 iterations (allocator/cache warm-up), then the reported number is the
-*median* of ``REPEATS`` interleaved samples — both counts are recorded in
-``BENCH_executor.json`` so a reader can judge the measurement. The cyclic
-garbage collector is paused during the timed region (pyperf-style): both
+*minimum* of ``REPEATS`` interleaved samples over ``CONSTRUCTIONS``
+independently constructed executor sets — all counts are recorded in
+``BENCH_executor.json`` so a reader can judge the measurement. The min
+is the right estimator because the noise is one-sided: a descheduled
+sample is only ever slower, and an unlucky heap placement of an
+executor's preallocated workspace (cache-set conflicts persist for that
+instance's lifetime) only ever adds time, so re-rolling the placement
+across constructions and keeping the fastest sample per executor
+estimates the true cost. A median still wobbles with machine load and a
+single construction bakes placement luck into the ratios. The cyclic
+garbage collector is paused during the timed region (pyperf-style): the
 executors build ~8k plan-record objects per run, and the resulting gen-2
 collection pauses land in whichever executor happens to cross the
 threshold, adding 10-20 ms of bimodal noise that swamps a 1.0x gate.
@@ -31,7 +48,6 @@ import contextlib
 import gc
 import json
 import pathlib
-import statistics
 import sys
 import time
 
@@ -44,18 +60,24 @@ from repro.core.reference import ReferenceExecutor
 from repro.nn.network import LSTMNetwork
 from repro.obs import Recorder
 
-#: Mode gates: minimum acceptable speedup of batched over reference.
-#: Baseline/inter were already vectorized in the seed, so their gate is a
-#: no-regression guard band sized for noisy shared CI runners, not a
-#: speedup claim. Intra (DRS) must at least match the reference since the
-#: per-gate restructure removed its compute-then-zero regression; combined
-#: mode carries the hard 2x requirement from plan grouping + fused
-#: projections.
+#: Mode gates: minimum acceptable speedup of the (compiled) batched
+#: executor over the reference. Baseline/inter were already vectorized in
+#: the seed, so their gate is a no-regression guard band sized for noisy
+#: shared CI runners, not a speedup claim. Intra (DRS) carries a 1.2x bar:
+#: the compiled program collapses its per-step work into one stacked
+#: matmul plus in-place chains. Combined mode keeps the hard 2x
+#: requirement from plan grouping + fused projections.
 MIN_SPEEDUP: dict[str, float] = {
     "baseline": 0.8,
     "inter": 0.8,
-    "intra": 1.0,
+    "intra": 1.2,
     "combined": 2.0,
+}
+
+#: Compiled-vs-interpreted gate (same executor, programs on vs off) on the
+#: combined workload — what the plan-compilation layer itself must buy.
+MIN_COMPILED_SPEEDUP: dict[str, float] = {
+    "combined": 1.3,
 }
 
 #: Recorder-enabled wall-clock must stay within this factor of recorder-off.
@@ -64,15 +86,22 @@ MAX_RECORDER_OVERHEAD = 1.05
 NUM_SEQUENCES = 64
 #: Untimed iterations before sampling starts.
 WARMUP = 2
-#: Timed samples per executor; the reported time is their median.
+#: Timed samples per executor per construction; the reported time is the
+#: minimum across every sample of every construction.
 REPEATS = 7
+#: Independent executor constructions per mode (re-rolls heap placement).
+CONSTRUCTIONS = 2
+#: The recorder gate compares two near-identical wall times (the true
+#: overhead is well under a millisecond), so its min needs more samples
+#: than the mode gates to keep sampling jitter out of a 5 % band.
+RECORDER_REPEATS = 15
 
 
 @contextlib.contextmanager
 def gc_paused():
     """Collect once, then keep the cyclic GC off for the timed region.
 
-    Both executors allocate thousands of small plan-record objects per run;
+    The executors allocate thousands of small plan-record objects per run;
     letting a gen-2 collection fire mid-sample charges a full-heap scan to
     whichever executor crossed the threshold, which is pure measurement
     noise for a relative gate.
@@ -111,70 +140,78 @@ def mode_config(mode: ExecutionMode) -> ExecutionConfig:
     return ExecutionConfig(mode=mode)
 
 
-def time_pair(
-    batched, reference, tokens: np.ndarray, repeats: int = REPEATS
-) -> tuple[float, float]:
-    """Median-of-N wall times of both executors, interleaved.
+def time_group(executors, tokens: np.ndarray, repeats: int = REPEATS) -> list[float]:
+    """Min-of-N wall times of several executors, interleaved.
 
-    Alternating the two executors inside each repeat cancels slow clock /
-    thermal drift that would otherwise bias whichever side runs last, and
-    the median (vs min or mean) is robust to the occasional descheduling
-    spike of a shared CI runner.
+    Interleaving the executors inside each repeat cancels slow clock /
+    thermal drift that would otherwise bias whichever one runs last, and
+    the min discards descheduling spikes entirely — scheduler noise only
+    ever *adds* time, so the fastest sample is the best estimate of each
+    executor's true cost. The warm-up pass also populates plan and
+    program caches, so compile time never lands in a timed sample (the
+    caller asserts this via ``compile_wall_s``).
     """
-    samples_b: list[float] = []
-    samples_r: list[float] = []
+    samples: list[list[float]] = [[] for _ in executors]
     for _ in range(WARMUP):
-        batched.run_batch(tokens)
-        reference.run_batch(tokens)
+        for executor in executors:
+            executor.run_batch(tokens)
     with gc_paused():
         for _ in range(repeats):
-            start = time.perf_counter()
-            batched.run_batch(tokens)
-            samples_b.append(time.perf_counter() - start)
-            start = time.perf_counter()
-            reference.run_batch(tokens)
-            samples_r.append(time.perf_counter() - start)
-    return statistics.median(samples_b), statistics.median(samples_r)
+            for slot, executor in enumerate(executors):
+                start = time.perf_counter()
+                executor.run_batch(tokens)
+                samples[slot].append(time.perf_counter() - start)
+    return [min(s) for s in samples]
 
 
 def recorder_overhead(
-    network: LSTMNetwork, tokens: np.ndarray, repeats: int = REPEATS
+    network: LSTMNetwork, tokens: np.ndarray, repeats: int = RECORDER_REPEATS
 ) -> dict:
     """Measure the enabled-Recorder overhead on the combined workload.
 
-    Runs the batched executor with and without an attached recorder
-    (interleaved, warmed up, median-of-N like :func:`time_pair`) and checks
-    that recording never changes a logits bit relative to the frozen
-    :class:`ReferenceExecutor` arithmetic.
+    Times **one** executor instance with its recorder detached and
+    attached on alternating repeats (warmed up, min-of-N like
+    :func:`time_group`), and checks that recording never changes a
+    logits bit relative to the frozen :class:`ReferenceExecutor`
+    arithmetic. A single toggled instance matters here: two separately
+    constructed executors land their workspaces at different heap
+    offsets and carry a persistent few-percent wall-clock bias either
+    way — larger than the sub-millisecond recording cost this gate
+    bounds. Toggling ``executor.recorder`` on one instance keeps every
+    buffer, cache, and program identical between the two phases, so the
+    difference is exactly the recording work.
     """
     config = mode_config(ExecutionMode.COMBINED)
     recorder = Recorder()
-    plain = LSTMExecutor(network, config, plan_cache=PlanCache())
-    recorded = LSTMExecutor(
+    executor = LSTMExecutor(
         network, config, plan_cache=PlanCache(), recorder=recorder
     )
     reference = ReferenceExecutor(network, config)
 
-    out_recorded = recorded.run_batch(tokens)
+    out_recorded = executor.run_batch(tokens)
     out_reference = reference.run_batch(tokens)
     bit_identical = bool(np.array_equal(out_recorded.logits, out_reference.logits))
 
     samples_plain: list[float] = []
     samples_recorded: list[float] = []
     for _ in range(WARMUP):
-        plain.run_batch(tokens)
-        recorded.run_batch(tokens)
+        executor.recorder = None
+        executor.run_batch(tokens)
+        executor.recorder = recorder
+        executor.run_batch(tokens)
     with gc_paused():
         for _ in range(repeats):
             recorder.clear()
+            executor.recorder = None
             start = time.perf_counter()
-            plain.run_batch(tokens)
+            executor.run_batch(tokens)
             samples_plain.append(time.perf_counter() - start)
+            executor.recorder = recorder
             start = time.perf_counter()
-            recorded.run_batch(tokens)
+            executor.run_batch(tokens)
             samples_recorded.append(time.perf_counter() - start)
-    t_plain = statistics.median(samples_plain)
-    t_recorded = statistics.median(samples_recorded)
+    t_plain = min(samples_plain)
+    t_recorded = min(samples_recorded)
     return {
         "plain_s": t_plain,
         "recorded_s": t_recorded,
@@ -195,33 +232,79 @@ def run() -> dict:
         ExecutionMode.COMBINED,
     ):
         config = mode_config(mode)
-        batched = LSTMExecutor(network, config, plan_cache=PlanCache())
-        reference = ReferenceExecutor(network, config)
+        times: list[float] | None = None
+        compile_wall_cold = 0.0
+        identical = True
+        for attempt in range(CONSTRUCTIONS):
+            compiled = LSTMExecutor(network, config, plan_cache=PlanCache())
+            interpreted = LSTMExecutor(
+                network, config, plan_cache=PlanCache(), compile=False
+            )
+            reference = ReferenceExecutor(network, config)
 
-        out_b = batched.run_batch(tokens)
-        out_r = reference.run_batch(tokens)
-        identical = bool(np.array_equal(out_b.logits, out_r.logits))
-        if not identical:
-            failures.append(f"{mode.value}: batched output differs from reference")
+            out_c = compiled.run_batch(tokens)
+            if attempt == 0:
+                compile_wall_cold = out_c.timings["compile_wall_s"]
+                out_r = reference.run_batch(tokens)
+                identical = bool(np.array_equal(out_c.logits, out_r.logits))
+                if not identical:
+                    failures.append(
+                        f"{mode.value}: compiled output differs from reference"
+                    )
 
-        t_batched, t_reference = time_pair(batched, reference, tokens)
-        speedup = t_reference / t_batched
+            sample = time_group([compiled, interpreted, reference], tokens)
+            times = (
+                sample
+                if times is None
+                else [min(a, b) for a, b in zip(times, sample)]
+            )
+            # Compile time must never contaminate the gates: every program
+            # was built during warm-up, so a steady-state run recompiles
+            # nothing.
+            compile_wall_steady = compiled.run_batch(tokens).timings[
+                "compile_wall_s"
+            ]
+            if compile_wall_steady != 0.0:
+                failures.append(
+                    f"{mode.value}: steady-state run recompiled for "
+                    f"{compile_wall_steady * 1e3:.3f} ms — compile time leaked "
+                    "into the timed samples"
+                )
+        t_compiled, t_interpreted, t_reference = times
+
+        speedup = t_reference / t_compiled
         gate = MIN_SPEEDUP[mode.value]
         if speedup < gate:
             failures.append(
                 f"{mode.value}: speedup {speedup:.2f}x below the {gate:.1f}x gate"
             )
+        compiled_speedup = t_interpreted / t_compiled
+        compiled_gate = MIN_COMPILED_SPEEDUP.get(mode.value)
+        if compiled_gate is not None and compiled_speedup < compiled_gate:
+            failures.append(
+                f"{mode.value}: compiled-vs-interpreted {compiled_speedup:.2f}x "
+                f"below the {compiled_gate:.1f}x gate"
+            )
         results[mode.value] = {
-            "batched_s": t_batched,
+            "batched_s": t_compiled,
+            "interpreted_s": t_interpreted,
             "reference_s": t_reference,
             "speedup": speedup,
             "min_speedup": gate,
+            "compiled_speedup": compiled_speedup,
+            "min_compiled_speedup": compiled_gate,
+            "compile_wall_cold_s": compile_wall_cold,
+            "compile_wall_steady_s": compile_wall_steady,
+            "compile_excluded_from_gates": True,
             "bit_identical": identical,
         }
         print(
-            f"{mode.value:10s} batched {t_batched * 1e3:8.2f} ms   "
+            f"{mode.value:10s} compiled {t_compiled * 1e3:8.2f} ms   "
+            f"interpreted {t_interpreted * 1e3:8.2f} ms   "
             f"reference {t_reference * 1e3:8.2f} ms   "
             f"{speedup:5.2f}x (gate {gate:.1f}x)   "
+            f"c/i {compiled_speedup:5.2f}x   "
+            f"compile {compile_wall_cold * 1e3:6.2f} ms cold   "
             f"bit-identical={identical}"
         )
 
@@ -234,8 +317,8 @@ def run() -> dict:
             f"exceeds the {recorder['max_overhead_ratio']:.2f}x gate"
         )
     print(
-        f"{'recorder':10s} off     {recorder['plain_s'] * 1e3:8.2f} ms   "
-        f"on        {recorder['recorded_s'] * 1e3:8.2f} ms   "
+        f"{'recorder':10s} off      {recorder['plain_s'] * 1e3:8.2f} ms   "
+        f"on          {recorder['recorded_s'] * 1e3:8.2f} ms   "
         f"{recorder['overhead_ratio']:5.3f}x (gate {recorder['max_overhead_ratio']:.2f}x)   "
         f"bit-identical={recorder['bit_identical']}"
     )
@@ -250,8 +333,11 @@ def run() -> dict:
         "timing": {
             "warmup_iterations": WARMUP,
             "repeats": REPEATS,
-            "statistic": "median",
+            "constructions": CONSTRUCTIONS,
+            "recorder_repeats": RECORDER_REPEATS,
+            "statistic": "min",
             "gc_paused_during_sampling": True,
+            "compile_excluded_from_gates": True,
         },
         "results": results,
         "recorder": recorder,

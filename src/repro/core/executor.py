@@ -18,22 +18,39 @@ timing results come from the simulator). Modes:
 * ``ZERO_PRUNE`` — the Fig. 16 baseline: magnitude-pruned ``U`` matrices,
   otherwise the baseline flow.
 
-Two levels of batching keep the hot paths vectorized:
+Three levels of batching keep the hot paths vectorized:
 
 * **Gate fusion.** Every mode drives the recurrence through the *united*
-  matrices: one ``(B, H) @ (H, 4H)`` GEMM per timestep (stepwise modes) or
-  per tissue (combined mode) replaces the four per-gate GEMMs, and one
-  ``(B, T, E) @ (E, 4H)`` GEMM per layer replaces the four input
+  matrices; the combined mode runs one ``(G, k, H) @ (H, 4H)`` GEMM per
+  tissue and one ``(B, T, E) @ (E, 4H)`` GEMM per layer for the input
   projections. The fused products are sliced per gate before the
   activations, which is bit-identical to the per-gate computation.
+* **Batch-invariant stepwise recurrence.** The stepwise recurrent products
+  run as *stacked per-row GEMVs* — ``h[:, None, :] @ U_g.T`` — instead of
+  one ``(B, H) @ (H, H)`` GEMM (:func:`_row_gemv`). A ``(1, H)`` slice of
+  a stacked matmul dispatches the exact GEMV the per-sequence walk uses,
+  so every sequence's trajectory is bit-identical at *any* batch
+  composition: solo runs, shards, and fleets of any grouping agree to the
+  last bit. (The seed's batched GEMM did not have this property — its
+  bits drifted between GEMV and GEMM dispatch across batch sizes.) The
+  classifier head is lifted the same way for pooled readouts.
 * **Plan grouping.** Combined-mode sequences whose structural plan
   (breakpoints + aligned tissue schedule) is identical execute *together*:
   each tissue step becomes a single stacked ``(G, k, H) @ (H, 4H)`` matmul
   across the group instead of ``G`` separate per-sequence products.
 
-Both transformations are bit-compatible with the seed per-sequence walk
-(preserved as :class:`repro.core.reference.ReferenceExecutor`); the
-equivalence is property-tested in ``tests/test_executor_equivalence.py``.
+All transformations are bit-compatible with the per-sequence walk
+(:class:`repro.core.reference.ReferenceExecutor`); the equivalence is
+property-tested in ``tests/test_executor_equivalence.py``.
+
+With ``compile=True`` (the default) the executor additionally lowers each
+layer's execution into a preallocated, fused program
+(:mod:`repro.core.program`): staged gate weights, a reusable workspace,
+one stacked matmul per timestep, and in-place ufunc chains — same bits,
+no per-step allocation. Programs are cached in a
+:class:`~repro.core.program.ProgramCache` keyed on (weights fingerprint,
+shapes, and — in combined mode — the plan ``schedule_key``), so repeated
+runs and fleet shards grouped by the runtime scheduler reuse one program.
 
 Structural planning (relevance -> breakpoints -> aligned tissues) can be
 memoized across runs through an optional :class:`~repro.core.plan.
@@ -57,9 +74,15 @@ from repro.core.plan import (
     LayerPlanRecord,
     PlanCache,
     SequencePlan,
+    SingleCellTissues,
     TissueRecord,
     fingerprint_array,
     fingerprint_weights,
+)
+from repro.core.program import (
+    CombinedGroupProgram,
+    ProgramCache,
+    StepwiseProgram,
 )
 from repro.core.relevance import (
     exact_relevance_values,
@@ -102,6 +125,15 @@ class ExecutionConfig:
         zero_prune_fraction: Element fraction erased in ``ZERO_PRUNE`` mode.
         use_exact_relevance: Use the exact-overlap ablation of Algorithm 2.
         spec: GPU model used when building kernel traces.
+        compact_drs_gemm: Opt-in row-compacted DRS recurrent products
+            (``h @ U_g[alive].T``), mimicking the paper's GPU kernel that
+            never computes dropped rows. **Approximate**: column-subset
+            GEMV/GEMM products change OpenBLAS's blocking and reduction
+            order (measured 19-75 % last-bit mismatch across shapes), so
+            this flag trades the bit-identity contract with the reference
+            walk for the literal memory-access pattern; outputs agree to
+            ``allclose`` tolerance only. Forces the interpreted stepwise
+            DRS loop. Off by default.
     """
 
     mode: ExecutionMode = ExecutionMode.BASELINE
@@ -112,6 +144,7 @@ class ExecutionConfig:
     zero_prune_fraction: float = 0.37
     use_exact_relevance: bool = False
     spec: GPUSpec = TEGRA_X1
+    compact_drs_gemm: bool = False
 
     def __post_init__(self) -> None:
         if self.alpha_inter < 0 or self.alpha_intra < 0:
@@ -139,10 +172,12 @@ class ExecutionResult:
     """Outcome of one batched execution.
 
     ``timings`` carries the host-side wall-clock split of the run —
-    ``exec_wall_s`` (whole numerical execution) and ``plan_wall_s``
-    (structural planning: relevance, breakpoints, tissue alignment) —
-    measured at layer granularity, so the cost is two clock reads per
-    layer regardless of batch or sequence length.
+    ``exec_wall_s`` (whole numerical execution), ``plan_wall_s``
+    (structural planning: relevance, breakpoints, tissue alignment) and
+    ``compile_wall_s`` (program lowering on a program-cache miss; ``0.0``
+    once programs are warm, so steady-state speedups never include
+    compile amortization) — measured at layer granularity, so the cost is
+    a few clock reads per layer regardless of batch or sequence length.
     """
 
     logits: np.ndarray
@@ -154,6 +189,22 @@ class ExecutionResult:
     def predictions(self) -> np.ndarray:
         """Argmax predictions: ``(B,)`` or ``(B, T)``."""
         return np.argmax(self.logits, axis=-1)
+
+
+def _row_gemv(h: np.ndarray, u_t: np.ndarray) -> np.ndarray:
+    """Batch-composition-invariant recurrent product ``h @ u_t``.
+
+    Lifts ``(B, H) @ (H, N)`` to ``(B, 1, H) @ (H, N)``: numpy dispatches
+    each ``(1, H)`` stack slice as the same BLAS GEMV a solo sequence
+    runs, so the result rows are bit-identical at every batch size
+    (measured: 0 mismatches across shapes/batches, versus near-certain
+    last-bit drift for the GEMM dispatch the 2-D product takes at
+    ``B > 1``). This is what makes stepwise trajectories — and therefore
+    layer>=1 plan floats — independent of how sequences are grouped.
+    ``u_t`` must stay a transpose *view* of the row-major gate block; a
+    re-laid-out copy changes the GEMV kernel path and the bits.
+    """
+    return (h[:, None, :] @ u_t)[:, 0]
 
 
 def _warp_skip_fractions(masks: np.ndarray, warp_size: int = 32) -> np.ndarray:
@@ -179,6 +230,40 @@ def _warp_skip_fractions(masks: np.ndarray, warp_size: int = 32) -> np.ndarray:
     lanes = np.full(n_warps, warp_size, dtype=float)
     lanes[-1] = hidden - (n_warps - 1) * warp_size
     return (whole * lanes).sum(axis=-1) / hidden
+
+
+class _DeferredStepStats:
+    """Batch-shared lazy DRS statistics for compiled stepwise runs.
+
+    Holds a snapshot of the program's per-step masks (the program's own
+    buffer is workspace, rewritten by the next run) and reduces it to
+    per-sequence skip / warp-skip fraction lists only when some record's
+    statistics are first read. ``count_nonzero`` sums booleans exactly
+    and the division matches ``masks.mean(axis=2)`` bit for bit, so the
+    deferred floats equal the eager ones.
+    """
+
+    __slots__ = ("_masks", "_hidden", "_skip", "_warp")
+
+    def __init__(self, masks: np.ndarray, hidden: int) -> None:
+        self._masks = masks
+        self._hidden = hidden
+        self._skip: list[list[float]] | None = None
+        self._warp: list[list[float]] | None = None
+
+    def loader(self, b: int):
+        """A thunk resolving sequence ``b``'s fraction lists."""
+        return lambda: self._row(b)
+
+    def _row(self, b: int) -> tuple[list[float], list[float]]:
+        if self._skip is None:
+            masks = self._masks
+            self._skip = (
+                np.count_nonzero(masks, axis=2) / self._hidden
+            ).tolist()
+            self._warp = _warp_skip_fractions(masks).tolist()
+            self._masks = None
+        return self._skip[b], self._warp[b]
 
 
 @dataclass
@@ -244,10 +329,18 @@ class LSTMExecutor:
             are reused across executor instances and runs.
         recorder: Optional :class:`~repro.obs.recorder.Recorder`; when
             enabled, every ``run_batch`` emits a numerics-plane
-            :class:`~repro.obs.record.RunRecord` (plan counters + wall
-            clock, no kernel events). :meth:`repro.core.pipeline.
-            OptimizedLSTM.run` records through its own builder instead and
-            leaves this unset, so runs are never double-recorded.
+            :class:`~repro.obs.record.RunRecord` (plan counters, cache
+            deltas + wall clock, no kernel events). :meth:`repro.core.
+            pipeline.OptimizedLSTM.run` records through its own builder
+            instead and leaves this unset, so runs are never
+            double-recorded.
+        compile: Lower layer execution into cached, preallocated programs
+            (:mod:`repro.core.program`) — same bits, no per-step
+            allocation. ``False`` keeps the interpreted loops (the
+            readable specification of the arithmetic).
+        program_cache: Optional shared :class:`~repro.core.program.
+            ProgramCache`; when omitted and ``compile`` is on, the
+            executor owns a private one.
     """
 
     def __init__(
@@ -257,12 +350,23 @@ class LSTMExecutor:
         predicted_links: list[PredictedLink] | None = None,
         plan_cache: PlanCache | None = None,
         recorder: "Recorder | None" = None,
+        compile: bool = True,
+        program_cache: ProgramCache | None = None,
     ) -> None:
         self.network = network
         self.config = config
         self.plan_cache = plan_cache
         self.recorder = recorder
+        self.compile = compile
+        if compile and program_cache is None:
+            program_cache = ProgramCache()
+        self.program_cache = program_cache
         self._plan_wall = 0.0
+        self._compile_wall = 0.0
+        self._link_fps: list[str | None] = [None] * len(network.layers)
+        self._weights_fps: list[str | None] = [None] * len(network.layers)
+        self._cells_by_t: dict[int, list[list[tuple[int, int]]]] = {}
+        self._zero_fracs: dict[int, list[float]] = {}
         hidden = network.config.hidden_size
         if predicted_links is None:
             predicted_links = [PredictedLink.zeros(hidden) for _ in network.layers]
@@ -307,6 +411,18 @@ class LSTMExecutor:
         batch, seq_len = tokens.shape
         start_wall = time.perf_counter()
         self._plan_wall = 0.0
+        self._compile_wall = 0.0
+        record = self.recorder is not None and self.recorder.enabled
+        plan_stats_before = (
+            self.plan_cache.stats.as_dict()
+            if record and self.plan_cache is not None
+            else None
+        )
+        program_stats_before = (
+            self.program_cache.stats.as_dict()
+            if record and self.program_cache is not None
+            else None
+        )
         xs = self.network.embedding[tokens]  # (B, T, E)
 
         plan_layers: list[list[LayerPlanRecord]] = [[] for _ in range(batch)]
@@ -322,11 +438,19 @@ class LSTMExecutor:
                 plan_layers[b].append(records[b])
 
         top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
-        logits = self.network.head_logits(top)
+        if top.ndim == 2:
+            # Pooled readout: lift each row to its own (1, H) GEMV so the
+            # logits stay batch-composition-invariant (see _row_gemv).
+            logits = self.network.head_logits(top[:, None, :])[:, 0]
+        else:
+            # Per-timestep heads are (B, T, H) @ (H, C): numpy already
+            # dispatches one (T, H) GEMM per sequence — batch-invariant.
+            logits = self.network.head_logits(top)
         plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
         timings = {
             "exec_wall_s": time.perf_counter() - start_wall,
             "plan_wall_s": self._plan_wall,
+            "compile_wall_s": self._compile_wall,
         }
         result = ExecutionResult(
             logits=logits,
@@ -335,11 +459,18 @@ class LSTMExecutor:
             layer_states=layer_states,
             timings=timings,
         )
-        if self.recorder is not None:
-            self._record_run(result, batch, seq_len)
+        if record:
+            self._record_run(result, batch, seq_len, plan_stats_before, program_stats_before)
         return result
 
-    def _record_run(self, result: ExecutionResult, batch: int, seq_len: int) -> None:
+    def _record_run(
+        self,
+        result: ExecutionResult,
+        batch: int,
+        seq_len: int,
+        plan_stats_before: dict | None = None,
+        program_stats_before: dict | None = None,
+    ) -> None:
         """Emit a numerics-plane run record (no-op when recorder disabled)."""
         cfg = self.config
         builder = self.recorder.start_run(
@@ -359,6 +490,12 @@ class LSTMExecutor:
             return
         for b, plan in enumerate(result.plans):
             builder.observe_plan(b, plan)
+        if plan_stats_before is not None:
+            builder.observe_cache_delta(plan_stats_before, self.plan_cache.stats.as_dict())
+        if program_stats_before is not None:
+            builder.observe_program_cache_delta(
+                program_stats_before, self.program_cache.stats.as_dict()
+            )
         builder.set_timing(wall_s=result.timings["exec_wall_s"], **result.timings)
         builder.finish()
 
@@ -466,13 +603,23 @@ class LSTMExecutor:
 
         Four narrow per-gate products per step instead of one fused
         ``(B, 4H)`` GEMM — see :meth:`_UnitedWeights.gate_ops` for why the
-        narrow layout wins on CPU. Each gate's value is the same ``K``-wide
-        dot product either way, so outputs stay bit-identical.
+        narrow layout wins on CPU. Each recurrent product runs as stacked
+        per-row GEMVs (:func:`_row_gemv`), so every sequence's bits are
+        independent of the batch composition. This interpreted loop is the
+        readable specification; ``compile=True`` lowers the same
+        arithmetic into a preallocated program.
         """
         cfg = self.config
-        if cfg.intra_active and cfg.alpha_intra > 0.0:
-            # INTRA never divides the layer (inter level off), so the DRS
-            # loop needs no breakpoint handling.
+        drs = cfg.intra_active and cfg.alpha_intra > 0.0
+        # INTRA never divides the layer (inter level off), so the DRS
+        # loops need no breakpoint handling.
+        if drs and cfg.compact_drs_gemm:
+            # The approximate opt-in compaction lives only in the
+            # interpreted DRS loop.
+            return self._run_layer_stepwise_drs(layer_index, weights, united, xs)
+        if self.compile:
+            return self._run_layer_stepwise_compiled(layer_index, weights, united, xs, drs)
+        if drs:
             return self._run_layer_stepwise_drs(layer_index, weights, united, xs)
         batch, seq_len, _ = xs.shape
         hidden = weights.hidden_size
@@ -509,10 +656,10 @@ class LSTMExecutor:
                 h = np.where(reset, link.h_bar[None, :], h)
                 c = np.where(reset, link.c_bar[None, :], c)
 
-            f = sigmoid(proj_f[:, t] + h @ u_f.T + b_f)
-            i = sigmoid(proj_i[:, t] + h @ u_i.T + b_i)
-            g = tanh(proj_c[:, t] + h @ u_c.T + b_c)
-            o = sigmoid(proj_o[:, t] + h @ u_o.T + b_o)
+            f = sigmoid(proj_f[:, t] + _row_gemv(h, u_f.T) + b_f)
+            i = sigmoid(proj_i[:, t] + _row_gemv(h, u_i.T) + b_i)
+            g = tanh(proj_c[:, t] + _row_gemv(h, u_c.T) + b_c)
+            o = sigmoid(proj_o[:, t] + _row_gemv(h, u_o.T) + b_o)
             c = f * c + i * g
             h = o * tanh(c)
             hs[:, t] = h
@@ -530,6 +677,92 @@ class LSTMExecutor:
                     plans[b] if plans is not None else None,
                     skip_fracs[b],
                     warp_fracs[b],
+                )
+            )
+        return hs, records
+
+    def _run_layer_stepwise_compiled(
+        self,
+        layer_index: int,
+        weights: LSTMCellWeights,
+        united: _UnitedWeights,
+        xs: np.ndarray,
+        drs: bool,
+    ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
+        """Compiled stepwise path: one cached program per (shapes, weights).
+
+        Mode differences are run-time inputs to the program — the inter
+        level passes breakpoint reset columns resolved from the sequence
+        plans, DRS reads its threshold out of the program — so BASELINE /
+        ZERO_PRUNE / INTER / INTRA at one ``(B, T)`` all replay the same
+        compiled object. Bit-identical to the interpreted loop above
+        (property-tested in ``tests/test_program.py``).
+        """
+        cfg = self.config
+        batch, seq_len, _ = xs.shape
+        hidden = weights.hidden_size
+        program = self._compiled_stepwise(layer_index, united, batch, seq_len, drs)
+        proj = program.project(xs)
+
+        plans: list[CachedLayerPlan] | None = None
+        reset_cols: list[np.ndarray | None] | None = None
+        if cfg.inter_active:
+            plans = self._plan_inter(layer_index, weights, proj, xs)
+            break_mask = np.zeros((batch, seq_len), dtype=bool)
+            for b, plan in enumerate(plans):
+                for start in plan.breakpoints:
+                    break_mask[b, start] = True
+            if break_mask.any():
+                reset_cols = [
+                    break_mask[:, t : t + 1] if break_mask[:, t].any() else None
+                    for t in range(seq_len)
+                ]
+
+        hs = np.empty((batch, seq_len, hidden))
+        cs = np.empty((batch, seq_len, hidden)) if self._collect_states else None
+        program.execute(hs, reset_cols=reset_cols, cs=cs)
+        self._last_states = cs
+
+        records: list[LayerPlanRecord] = []
+        if plans is not None:
+            # Inter-level records resolve per-tissue statistics against
+            # the planned tissue structure, so their fractions stay eager.
+            if drs:
+                skip_fracs = np.count_nonzero(program.masks_all, axis=2) / hidden
+                warp_fracs = _warp_skip_fractions(program.masks_all)
+            else:
+                skip_fracs = np.zeros((batch, seq_len))
+                warp_fracs = np.zeros((batch, seq_len))
+            for b in range(batch):
+                records.append(
+                    self._stepwise_record(
+                        layer_index,
+                        weights,
+                        seq_len,
+                        plans[b],
+                        skip_fracs[b],
+                        warp_fracs[b],
+                    )
+                )
+            return hs, records
+        # Single-cell records: both the record objects and the DRS mask
+        # reductions are read at most once (if at all) after the run, so
+        # everything defers — the masks are snapshotted because the
+        # program buffer is workspace for the next run.
+        cells_by_t = self._single_cells(seq_len)
+        stats = (
+            _DeferredStepStats(program.masks_all.copy(), hidden) if drs else None
+        )
+        zeros = None if drs else self._zero_fractions(seq_len)
+        for b in range(batch):
+            tissues = (
+                SingleCellTissues(cells_by_t, loader=stats.loader(b))
+                if drs
+                else SingleCellTissues(cells_by_t, zeros, zeros)
+            )
+            records.append(
+                self._stepwise_record(
+                    layer_index, weights, seq_len, None, None, None, tissues=tissues
                 )
             )
         return hs, records
@@ -552,20 +785,22 @@ class LSTMExecutor:
         state — dropped rows never see a bias add, an activation, or a
         cell update.
 
-        One deliberate asymmetry with the paper's GPU kernel: the
-        ``h @ U_g^T`` products stay full width. A mobile GPU's DRS kernel
-        skips output rows inside the kernel, where every output element is
-        an independent dot product; CPU BLAS does not expose that
-        guarantee — gathering columns of ``U_g^T`` changes the GEMM's
-        ``N`` dimension, which changes OpenBLAS's kernel/blocking choice
-        and hence the reduction order, and measured mismatch rates for
-        column-subset products on this platform are 2-70 % across
-        ``(B, H)`` shapes. Shrinking the product would therefore break the
-        frozen bit-identity contract with :class:`~repro.core.reference.
-        ReferenceExecutor`. Everything elementwise *after* the product is
-        subset-safe (ufuncs are per-element), so the compaction covers the
-        pre-activation adds, both activations, and the cell update, and
-        stays bit-identical: surviving elements go through the same
+        By default the ``h @ U_g^T`` products stay full width and the
+        compaction covers everything elementwise *after* them. A mobile
+        GPU's DRS kernel skips output rows inside the kernel, where every
+        output element is an independent dot product; CPU BLAS does not
+        expose that guarantee — gathering rows of ``U_g`` (columns of the
+        product) changes the GEMV's ``N`` dimension, which changes
+        OpenBLAS's kernel/blocking choice and hence the reduction order.
+        Measured on this platform: 19-75 % last-bit mismatch for
+        column-subset products across ``(B, H)`` shapes, so shrinking the
+        product would break the frozen bit-identity contract with
+        :class:`~repro.core.reference.ReferenceExecutor`. Opting in to
+        :attr:`ExecutionConfig.compact_drs_gemm` runs the literal
+        row-compacted ``h @ U_g[alive].T`` per gate — the paper's true
+        memory-access pattern, allclose-but-not-bit-equal. Everything
+        elementwise after the product is subset-safe either way (ufuncs
+        are per-element): surviving elements go through the same
         ``(x + hU) + b`` chain, dropped elements are exactly ``0.0`` on
         both sides.
 
@@ -574,6 +809,7 @@ class LSTMExecutor:
         the batched INTRA path slower than the seed walk.
         """
         cfg = self.config
+        compact = cfg.compact_drs_gemm
         batch, seq_len, _ = xs.shape
         hidden = weights.hidden_size
         alpha = cfg.alpha_intra
@@ -594,24 +830,34 @@ class LSTMExecutor:
         masks_all = np.empty((batch, seq_len, hidden), dtype=bool)
 
         for t in range(seq_len):
-            o = sigmoid(proj_o[:, t] + h @ u_o.T + b_o)
+            o = sigmoid(proj_o[:, t] + _row_gemv(h, u_o.T) + b_o)
             masks = o < alpha  # (B, H)
             masks_all[:, t] = masks
             dropped = masks.all(axis=0)
             if dropped.any():
                 alive = np.flatnonzero(~dropped)
-                f = sigmoid(proj_f[:, t, alive] + (h @ u_f.T)[:, alive] + b_f[alive])
-                i = sigmoid(proj_i[:, t, alive] + (h @ u_i.T)[:, alive] + b_i[alive])
-                g = tanh(proj_c[:, t, alive] + (h @ u_c.T)[:, alive] + b_c[alive])
+                if compact:
+                    # Literal Algorithm-3 memory pattern: dropped rows of
+                    # U_g are never read. Approximate (see docstring).
+                    hu_f = _row_gemv(h, u_f[alive].T)
+                    hu_i = _row_gemv(h, u_i[alive].T)
+                    hu_c = _row_gemv(h, u_c[alive].T)
+                else:
+                    hu_f = _row_gemv(h, u_f.T)[:, alive]
+                    hu_i = _row_gemv(h, u_i.T)[:, alive]
+                    hu_c = _row_gemv(h, u_c.T)[:, alive]
+                f = sigmoid(proj_f[:, t, alive] + hu_f + b_f[alive])
+                i = sigmoid(proj_i[:, t, alive] + hu_i + b_i[alive])
+                g = tanh(proj_c[:, t, alive] + hu_c + b_c[alive])
                 c_next = np.zeros((batch, hidden))
                 c_next[:, alive] = np.where(
                     masks[:, alive], 0.0, f * c[:, alive] + i * g
                 )
                 c = c_next
             else:
-                f = sigmoid(proj_f[:, t] + h @ u_f.T + b_f)
-                i = sigmoid(proj_i[:, t] + h @ u_i.T + b_i)
-                g = tanh(proj_c[:, t] + h @ u_c.T + b_c)
+                f = sigmoid(proj_f[:, t] + _row_gemv(h, u_f.T) + b_f)
+                i = sigmoid(proj_i[:, t] + _row_gemv(h, u_i.T) + b_i)
+                g = tanh(proj_c[:, t] + _row_gemv(h, u_c.T) + b_c)
                 c = np.where(masks, 0.0, f * c + i * g)
             h = o * tanh(c)
             hs[:, t] = h
@@ -629,14 +875,32 @@ class LSTMExecutor:
         ]
         return hs, records
 
+    def _single_cells(self, seq_len: int) -> list[list[tuple[int, int]]]:
+        """One ``[(0, t)]`` list per timestep, shared across every
+        sequence's records (nothing mutates record cells downstream)."""
+        cells_by_t = self._cells_by_t.get(seq_len)
+        if cells_by_t is None:
+            cells_by_t = [[(0, t)] for t in range(seq_len)]
+            self._cells_by_t[seq_len] = cells_by_t
+        return cells_by_t
+
+    def _zero_fractions(self, seq_len: int) -> list[float]:
+        """Shared all-zero fraction list for non-DRS stepwise records."""
+        zeros = self._zero_fracs.get(seq_len)
+        if zeros is None:
+            zeros = [0.0] * seq_len
+            self._zero_fracs[seq_len] = zeros
+        return zeros
+
     def _stepwise_record(
         self,
         layer_index: int,
         weights: LSTMCellWeights,
         seq_len: int,
         plan: CachedLayerPlan | None,
-        skip_fracs: np.ndarray,
-        warp_fracs: np.ndarray,
+        skip_fracs: np.ndarray | None,
+        warp_fracs: np.ndarray | None,
+        tissues: SingleCellTissues | None = None,
     ) -> LayerPlanRecord:
         if self.config.inter_active:
             assert plan is not None
@@ -658,18 +922,20 @@ class LSTMExecutor:
             sublayer_lengths = [sub.length for sub in plan.sublayers]
             relevance = plan.relevance
         else:
-            # tolist() converts to plain Python floats in one C pass —
-            # identical values, far cheaper than 2*T numpy-scalar casts.
-            skip_list = np.asarray(skip_fracs).tolist()
-            warp_list = np.asarray(warp_fracs).tolist()
-            tissue_records = [
-                TissueRecord(
-                    cells=[(0, t)],
-                    skip_fraction=skip_list[t],
-                    warp_skip_fraction=warp_list[t],
+            if tissues is None:
+                # tolist() converts to plain Python floats in one C pass —
+                # identical values, far cheaper than 2*T numpy-scalar casts.
+                skip_list = np.asarray(skip_fracs).tolist()
+                warp_list = np.asarray(warp_fracs).tolist()
+                tissues = SingleCellTissues(
+                    self._single_cells(seq_len), skip_list, warp_list
                 )
-                for t in range(seq_len)
-            ]
+            # Lazy either way: B*T single-cell records per layer run cost
+            # more to build than the arithmetic they describe; the
+            # sequence materializes them only if something indexes or
+            # iterates it (tests, trace building) — the recorder reads
+            # aggregates.
+            tissue_records = tissues
             breakpoints = []
             sublayer_lengths = [seq_len]
             relevance = None
@@ -698,7 +964,10 @@ class LSTMExecutor:
         *together*: each tissue step is one stacked ``(G, k, H) @ (H, 4H)``
         matmul over the group, bit-identical to ``G`` independent
         per-sequence ``(k, H)`` products (numpy dispatches the same GEMM
-        per leading-axis slice).
+        per leading-axis slice). With ``compile=True`` each plan group
+        replays a cached :class:`~repro.core.program.CombinedGroupProgram`
+        keyed on the plan ``signature`` (the scheduler's ``schedule_key``),
+        so fleet shards grouped by the runtime scheduler share programs.
         """
         cfg = self.config
         batch, seq_len, _ = proj_u.shape
@@ -717,6 +986,36 @@ class LSTMExecutor:
             plan = plans[indices[0]]
             group = len(indices)
             seq_idx = np.asarray(indices)
+            if self.compile:
+                program = self._compiled_combined(
+                    layer_index, united, plan, group, seq_len
+                )
+                # One group covering the whole batch walks proj_u directly
+                # (indices are ascending, so the gather would be identity).
+                proj_group = proj_u if group == batch else proj_u[seq_idx]
+                program.execute(proj_group)
+                if group == batch:
+                    hs[:] = program.hs
+                else:
+                    hs[seq_idx] = program.hs
+                if cfg.alpha_intra > 0.0:
+                    skip_all = program.shared.mean(axis=2).tolist()
+                    warp_all = _warp_skip_fractions(program.shared).tolist()
+                else:
+                    zeros = [[0.0] * group] * len(plan.tissues)
+                    skip_all = warp_all = zeros
+                # One cells list per tissue, shared across the group's
+                # records (nothing mutates record cells downstream).
+                cells_lists = [list(t.cells) for t in plan.tissues]
+                for ti in range(len(plan.tissues)):
+                    cells = cells_lists[ti]
+                    skip_row = skip_all[ti]
+                    warp_row = warp_all[ti]
+                    for gi, b in enumerate(indices):
+                        tissue_records[b].append(
+                            TissueRecord(cells, skip_row[gi], warp_row[gi])
+                        )
+                continue
             n_sub = len(plan.sublayers)
             h_state = np.zeros((group, n_sub, hidden))
             c_state = np.zeros((group, n_sub, hidden))
@@ -772,3 +1071,96 @@ class LSTMExecutor:
                 )
             )
         return hs, records
+
+    # -------------------------------------------------------- program cache
+
+    def _link_fingerprint(self, layer_index: int) -> str:
+        """Content fingerprint of one layer's predicted link (memoized)."""
+        fp = self._link_fps[layer_index]
+        if fp is None:
+            link = self.predicted_links[layer_index]
+            fp = fingerprint_array(link.h_bar) + fingerprint_array(link.c_bar)
+            self._link_fps[layer_index] = fp
+        return fp
+
+    def _weights_fingerprint(self, layer_index: int) -> str:
+        """Content fingerprint of one layer's weights (memoized — the
+        executor's weights are fixed at construction, so hashing them once
+        keeps program-cache keys off the steady-state path)."""
+        fp = self._weights_fps[layer_index]
+        if fp is None:
+            fp = fingerprint_weights(self._weights[layer_index])
+            self._weights_fps[layer_index] = fp
+        return fp
+
+    def _program(self, key, build):
+        """Program-cache lookup; build time lands in ``compile_wall_s``."""
+
+        def timed_build():
+            start = time.perf_counter()
+            program = build()
+            self._compile_wall += time.perf_counter() - start
+            return program
+
+        return self.program_cache.get(key, timed_build)
+
+    def _compiled_stepwise(
+        self,
+        layer_index: int,
+        united: _UnitedWeights,
+        batch: int,
+        seq_len: int,
+        drs: bool,
+    ) -> StepwiseProgram:
+        """Cached stepwise program for this layer at ``(batch, seq_len)``.
+
+        Keyed on content (weights + link fingerprints), shapes, and the
+        DRS threshold — *not* on breakpoints, which are run-time inputs —
+        so every stepwise mode at one shape shares a program.
+        """
+        alpha = self.config.alpha_intra if drs else 0.0
+        key = (
+            "stepwise",
+            self._weights_fingerprint(layer_index),
+            self._link_fingerprint(layer_index),
+            batch,
+            seq_len,
+            alpha,
+        )
+        link = self.predicted_links[layer_index]
+        return self._program(
+            key,
+            lambda: StepwiseProgram(united, link, batch, seq_len, drs_alpha=alpha),
+        )
+
+    def _compiled_combined(
+        self,
+        layer_index: int,
+        united: _UnitedWeights,
+        plan: CachedLayerPlan,
+        group: int,
+        seq_len: int,
+    ) -> CombinedGroupProgram:
+        """Cached tissue-walk program for one combined-mode plan group.
+
+        The plan ``signature`` in the key is :func:`repro.core.tissue.
+        schedule_key` — the exact key the fleet scheduler groups dispatches
+        by, so shards of one scheduler group replay one program.
+        """
+        cfg = self.config
+        key = (
+            "combined",
+            self._weights_fingerprint(layer_index),
+            self._link_fingerprint(layer_index),
+            plan.signature,
+            group,
+            seq_len,
+            cfg.alpha_intra,
+        )
+        link = self.predicted_links[layer_index]
+        return self._program(
+            key,
+            lambda: CombinedGroupProgram(
+                united, link, plan, group, seq_len, alpha_intra=cfg.alpha_intra
+            ),
+        )

@@ -31,6 +31,7 @@ from repro.core.executor import (
     LSTMExecutor,
 )
 from repro.core.plan import PlanCache
+from repro.core.program import ProgramCache
 from repro.core.tuner import OfflineCalibration, calibrate_offline
 from repro.errors import CalibrationError, ConfigurationError
 from repro.gpu.simulator import TimingSimulator
@@ -99,6 +100,10 @@ class OptimizedLSTM:
         self.network = network
         self.spec = spec
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        # Compiled executor programs persist across run() calls (each call
+        # builds a fresh LSTMExecutor, so without this, threshold sweeps
+        # would recompile identical programs every run).
+        self.program_cache = ProgramCache()
         self.calibration: OfflineCalibration | None = None
         self._calibration_tokens: np.ndarray | None = None
         self._rng = np.random.default_rng(0xA11CE)
@@ -234,9 +239,14 @@ class OptimizedLSTM:
         )
         links = self.calibration.predicted_links if self.calibration is not None else None
         executor = LSTMExecutor(
-            self.network, config, predicted_links=links, plan_cache=self.plan_cache
+            self.network,
+            config,
+            predicted_links=links,
+            plan_cache=self.plan_cache,
+            program_cache=self.program_cache,
         )
         cache_before = self.plan_cache.stats.as_dict()
+        program_before = self.program_cache.stats.as_dict()
         tokens = np.asarray(tokens)
         if label is None:
             app_config = getattr(self, "_app_config", None)
@@ -276,6 +286,9 @@ class OptimizedLSTM:
 
         if builder is not None:
             builder.observe_cache_delta(cache_before, self.plan_cache.stats.as_dict())
+            builder.observe_program_cache_delta(
+                program_before, self.program_cache.stats.as_dict()
+            )
             builder.set_timing(
                 wall_s=time.perf_counter() - wall_start,
                 sim_wall_s=time.perf_counter() - sim_start,

@@ -7,13 +7,21 @@ composition, rows skipped). The :mod:`repro.core.trace_builder` later turns
 these records into the GPU kernel trace that the timing simulator consumes.
 This mirrors the paper's own methodology (Fig. 13): PyTorch produces the
 breakpoints and trivial-row counts, DeepBench replays them on the board.
+
+Two cache layers sit on top of these records: the :class:`PlanCache` here
+memoizes the *structural* pipeline (relevance arrays and layer plans,
+content-addressed by weights + inputs), and the :class:`~repro.core.
+program.ProgramCache` memoizes the *executable* lowering of a plan — a
+:class:`CachedLayerPlan`'s ``signature`` (:func:`repro.core.tissue.
+schedule_key`) is the shared key that links a cached plan to its compiled
+combined-mode program.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -27,9 +35,13 @@ if TYPE_CHECKING:
     from repro.nn.lstm_cell import LSTMCellWeights
 
 
-@dataclass
+@dataclass(slots=True)
 class TissueRecord:
     """One executed tissue (or single cell when the inter level is off).
+
+    ``slots=True`` because batched runs materialize one record per
+    (sequence, timestep) — tens of thousands per run — and the slotted
+    layout constructs faster and drops the per-instance ``__dict__``.
 
     Attributes:
         cells: The fused cells as ``(sublayer_index, timestamp)`` pairs.
@@ -49,9 +61,134 @@ class TissueRecord:
         return len(self.cells)
 
 
+class SingleCellTissues(Sequence):
+    """Materialize-on-demand tissue list for the stepwise modes.
+
+    A batched stepwise run records one single-cell tissue per
+    (sequence, timestep) — tens of thousands of :class:`TissueRecord`
+    objects per run whose only varying payload is two floats. Building
+    them eagerly costs more wall-clock than the structural information
+    is worth on the hot path, and the only per-run consumer (the
+    recorder's layer counters) reads aggregates, never elements. This
+    sequence therefore stores the shared per-timestep cell lists plus
+    the raw fraction lists and builds the records on first *element*
+    access (equivalence tests, trace building, diffing). ``len()``,
+    equality against another unresolved lazy sequence, and the
+    aggregate properties never materialize.
+
+    The fraction lists themselves may also be deferred: instead of
+    lists, the constructor accepts a ``loader`` callable returning
+    ``(skip_fractions, warp_skip_fractions)`` on first use, so a
+    compiled executor run can skip even the mask reductions unless
+    someone reads the statistics. Whatever state the loader captures
+    (e.g. a DRS mask snapshot) stays alive until then.
+
+    The aggregates reduce the same floats in the same order as reducing
+    the materialized records, so they are bit-identical to the eager
+    path.
+    """
+
+    __slots__ = ("_cells_by_t", "_skip", "_warp", "_loader", "_items")
+
+    def __init__(
+        self,
+        cells_by_t: list[list[tuple[int, int]]],
+        skip_fractions: list[float] | None = None,
+        warp_skip_fractions: list[float] | None = None,
+        loader: Callable[[], tuple[list[float], list[float]]] | None = None,
+    ) -> None:
+        if (skip_fractions is None) != (warp_skip_fractions is None) or (
+            (skip_fractions is None) == (loader is None)
+        ):
+            raise ConfigurationError(
+                "pass either both fraction lists or a loader, not both"
+            )
+        self._cells_by_t = cells_by_t
+        self._skip = skip_fractions
+        self._warp = warp_skip_fractions
+        self._loader = loader
+        self._items: list[TissueRecord] | None = None
+
+    def _resolve(self) -> None:
+        if self._skip is None:
+            self._skip, self._warp = self._loader()
+            self._loader = None
+
+    def _materialize(self) -> list[TissueRecord]:
+        items = self._items
+        if items is None:
+            self._resolve()
+            items = self._items = [
+                TissueRecord(c, s, w)
+                for c, s, w in zip(self._cells_by_t, self._skip, self._warp)
+            ]
+        return items
+
+    def __len__(self) -> int:
+        return len(self._cells_by_t)
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SingleCellTissues):
+            self._resolve()
+            other._resolve()
+            return (
+                self._cells_by_t == other._cells_by_t
+                and self._skip == other._skip
+                and self._warp == other._warp
+            )
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable-by-materialization; match list semantics
+
+    def __reduce__(self):
+        # Loaders may close over process-local state (DRS mask
+        # snapshots), so crossing a pickle boundary — e.g. runtime worker
+        # result queues — resolves the fraction lists and ships those.
+        self._resolve()
+        return (SingleCellTissues, (self._cells_by_t, self._skip, self._warp))
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleCellTissues(len={len(self)}, "
+            f"materialized={self._items is not None})"
+        )
+
+    @property
+    def mean_size(self) -> float:
+        """Every tissue holds exactly one cell."""
+        return 1.0 if self._cells_by_t else 0.0
+
+    @property
+    def mean_skip_fraction(self) -> float:
+        if not self._cells_by_t:
+            return 0.0
+        self._resolve()
+        return sum(self._skip) / len(self._skip)
+
+    @property
+    def mean_warp_skip_fraction(self) -> float:
+        if not self._cells_by_t:
+            return 0.0
+        self._resolve()
+        return sum(self._warp) / len(self._warp)
+
+
 @dataclass
 class LayerPlanRecord:
-    """Structural record of one layer's optimized execution."""
+    """Structural record of one layer's optimized execution.
+
+    ``tissues`` is list-like rather than strictly a list: the stepwise
+    executor paths hand over a :class:`SingleCellTissues` so the hot
+    path never pays for materializing per-timestep records.
+    """
 
     layer_index: int
     hidden_size: int
@@ -59,7 +196,7 @@ class LayerPlanRecord:
     seq_length: int
     breakpoints: list[int] = field(default_factory=list)
     sublayer_lengths: list[int] = field(default_factory=list)
-    tissues: list[TissueRecord] = field(default_factory=list)
+    tissues: Sequence[TissueRecord] = field(default_factory=list)
     relevance: np.ndarray | None = None
 
     @property
@@ -74,18 +211,46 @@ class LayerPlanRecord:
 
     @property
     def mean_tissue_size(self) -> float:
-        """Average number of cells fused per tissue."""
-        if not self.tissues:
+        """Average number of cells fused per tissue.
+
+        Computed in exact integer arithmetic (cell counts are small ints,
+        so the sum never rounds) — the recorder reads this once per layer
+        record, and an ``np.mean`` call here costs more in dispatch than
+        the whole reduction.
+        """
+        tissues = self.tissues
+        if not tissues:
             return 0.0
-        return float(np.mean([t.size for t in self.tissues]))
+        if isinstance(tissues, SingleCellTissues):
+            return tissues.mean_size
+        return sum(len(t.cells) for t in tissues) / len(tissues)
 
     @property
     def mean_skip_fraction(self) -> float:
         """Cell-weighted average skipped-row fraction."""
-        if not self.tissues:
+        tissues = self.tissues
+        if not tissues:
             return 0.0
-        total_cells = sum(t.size for t in self.tissues)
-        return sum(t.skip_fraction * t.size for t in self.tissues) / total_cells
+        if isinstance(tissues, SingleCellTissues):
+            return tissues.mean_skip_fraction
+        sizes = [len(t.cells) for t in tissues]
+        total_cells = sum(sizes)
+        return (
+            sum(t.skip_fraction * s for t, s in zip(tissues, sizes))
+            / total_cells
+        )
+
+    @property
+    def mean_warp_skip_fraction(self) -> float:
+        """Plain average warp-skip fraction across tissues."""
+        tissues = self.tissues
+        if not tissues:
+            return 0.0
+        if isinstance(tissues, SingleCellTissues):
+            return tissues.mean_warp_skip_fraction
+        return float(
+            sum(t.warp_skip_fraction for t in tissues) / len(tissues)
+        )
 
     def validate(self) -> None:
         """Internal consistency checks (used by tests)."""

@@ -15,6 +15,17 @@ It exists for two reasons:
 
 The arithmetic in this module is intentionally frozen: do not "optimize" it.
 Any numerical change here silently weakens the equivalence guarantee.
+
+One disclosed amendment since the seed: the stepwise recurrent products
+and the pooled classifier head are *lifted* to stacked per-row GEMVs
+(:func:`repro.core.executor._row_gemv`). The seed's 2-D ``h @ U_g.T``
+dispatched a GEMM at ``B > 1`` whose low bits drifted from the GEMV a solo
+sequence runs — so the oracle's own batched output depended on how
+sequences were grouped (the latent plan-float inheritance disclosed in
+PR 3). The lift dispatches the identical GEMV per row at every batch size,
+making the oracle equal to its own per-sequence walk — the property the
+equivalence suite asserts bit-exactly, now with no layer>=1 relaxations.
+Solo sequences (``B == 1``) are bit-identical to the seed arithmetic.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from repro.core.executor import (
     ExecutionConfig,
     ExecutionMode,
     ExecutionResult,
+    _row_gemv,
     _warp_skip_fractions,
 )
 from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord
@@ -104,7 +116,12 @@ class ReferenceExecutor:
                 plan_layers[b].append(records[b])
 
         top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
-        logits = self.network.head_logits(top)
+        if top.ndim == 2:
+            # Pooled readout: per-row GEMV lift, batch-composition-invariant
+            # (see the module docstring's disclosed amendment).
+            logits = self.network.head_logits(top[:, None, :])[:, 0]
+        else:
+            logits = self.network.head_logits(top)
         plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
         return ExecutionResult(
             logits=logits,
@@ -194,10 +211,10 @@ class ReferenceExecutor:
                 h = np.where(reset, link.h_bar[None, :], h)
                 c = np.where(reset, link.c_bar[None, :], c)
 
-            o = sigmoid(proj["o"][:, t] + h @ weights.u_o.T + weights.b_o)
-            f = sigmoid(proj["f"][:, t] + h @ weights.u_f.T + weights.b_f)
-            i = sigmoid(proj["i"][:, t] + h @ weights.u_i.T + weights.b_i)
-            g = tanh(proj["c"][:, t] + h @ weights.u_c.T + weights.b_c)
+            o = sigmoid(proj["o"][:, t] + _row_gemv(h, weights.u_o.T) + weights.b_o)
+            f = sigmoid(proj["f"][:, t] + _row_gemv(h, weights.u_f.T) + weights.b_f)
+            i = sigmoid(proj["i"][:, t] + _row_gemv(h, weights.u_i.T) + weights.b_i)
+            g = tanh(proj["c"][:, t] + _row_gemv(h, weights.u_c.T) + weights.b_c)
             c = f * c + i * g
             if cfg.intra_active and cfg.alpha_intra > 0.0:
                 masks = o < cfg.alpha_intra  # (B, H)

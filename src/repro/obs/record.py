@@ -89,9 +89,12 @@ class RunRecord:
 
     ``timing`` holds host-side wall-clock figures (``wall_s`` overall,
     ``exec_wall_s`` numerics, ``plan_wall_s`` structural planning,
-    ``sim_wall_s`` simulator); ``simulated`` holds the platform-plane
-    totals the simulator produced. ``cache`` is the plan-cache hit/miss
-    *delta* attributable to this run, or ``None`` when no cache was wired.
+    ``compile_wall_s`` program lowering on cache misses, ``sim_wall_s``
+    simulator); ``simulated`` holds the platform-plane totals the
+    simulator produced. ``cache`` is an open counter mapping of per-run
+    cache *deltas* — plan-cache counters (``relevance_*``/``plan_*``/
+    ``evictions``) and program-cache counters (``program_*``) share it —
+    or ``None`` when no cache was wired.
     """
 
     label: str = ""

@@ -111,7 +111,8 @@ class RunBuilder:
         """Record one sequence's structural plan (per-layer counters)."""
         seq = self._sequence(seq_index)
         for rec in plan.layers:
-            warp = [t.warp_skip_fraction for t in rec.tissues]
+            # Aggregate properties only — element access would force a
+            # lazy stepwise tissue list to materialize B*T records.
             seq.layers.append(
                 _record.LayerObservation(
                     layer_index=rec.layer_index,
@@ -122,9 +123,7 @@ class RunBuilder:
                     num_tissues=rec.num_tissues,
                     mean_tissue_size=rec.mean_tissue_size,
                     mean_skip_fraction=rec.mean_skip_fraction,
-                    mean_warp_skip_fraction=(
-                        float(sum(warp) / len(warp)) if warp else 0.0
-                    ),
+                    mean_warp_skip_fraction=rec.mean_warp_skip_fraction,
                 )
             )
 
@@ -155,6 +154,20 @@ class RunBuilder:
         seq.simulated_time_s += summary.total_time
         seq.simulated_energy_j += summary.total_energy
 
+    def _merge_cache_delta(self, counters: tuple[str, ...], before: dict, after: dict) -> None:
+        """Merge per-run counter deltas into the record's ``cache`` dict.
+
+        Merging (instead of replacing) lets the plan-cache and
+        program-cache deltas share one flat dict — the schema keeps
+        ``cache`` as an open counter mapping, so new families of counters
+        need no version bump and :func:`repro.obs.merge.merge_run_records`
+        sums them key-wise like any other.
+        """
+        if self._run.cache is None:
+            self._run.cache = {}
+        for key in counters:
+            self._run.cache[key] = int(after.get(key, 0)) - int(before.get(key, 0))
+
     def observe_cache_delta(self, before: dict, after: dict) -> None:
         """Record the plan-cache counter delta attributable to this run.
 
@@ -162,16 +175,30 @@ class RunBuilder:
             before / after: Snapshots of :meth:`repro.core.plan.
                 PlanCacheStats.as_dict` taken around the run.
         """
-        counters = (
-            "relevance_hits",
-            "relevance_misses",
-            "plan_hits",
-            "plan_misses",
-            "evictions",
+        self._merge_cache_delta(
+            (
+                "relevance_hits",
+                "relevance_misses",
+                "plan_hits",
+                "plan_misses",
+                "evictions",
+            ),
+            before,
+            after,
         )
-        self._run.cache = {
-            key: int(after.get(key, 0)) - int(before.get(key, 0)) for key in counters
-        }
+
+    def observe_program_cache_delta(self, before: dict, after: dict) -> None:
+        """Record the program-cache counter delta attributable to this run.
+
+        Args:
+            before / after: Snapshots of :meth:`repro.core.program.
+                ProgramCacheStats.as_dict` taken around the run.
+        """
+        self._merge_cache_delta(
+            ("program_hits", "program_misses", "program_evictions"),
+            before,
+            after,
+        )
 
     def set_timing(self, **timings: float) -> None:
         """Merge wall-clock figures (``wall_s``, ``exec_wall_s``, ...)."""

@@ -83,8 +83,20 @@ def validate_run_dict(data: dict, where: str = "run record") -> None:
         raise ConfigurationError(
             f"{where}: schema {data['schema']!r} != {RUN_RECORD_SCHEMA_ID!r}"
         )
-    if data.get("cache") is not None and not isinstance(data["cache"], dict):
-        raise ConfigurationError(f"{where}: 'cache' must be an object or null")
+    if data.get("cache") is not None:
+        if not isinstance(data["cache"], dict):
+            raise ConfigurationError(f"{where}: 'cache' must be an object or null")
+        # An open counter mapping: plan-cache and program-cache families
+        # share it, and new counters need no schema bump — but every value
+        # must be a plain number so merge can sum them key-wise.
+        for key, value in data["cache"].items():
+            if not isinstance(key, str) or isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ConfigurationError(
+                    f"{where}: 'cache' entry {key!r} must map a string "
+                    "to a number"
+                )
     for k, event in enumerate(data["kernels"]):
         _check_fields(event, _KERNEL_FIELDS, f"{where}: kernel[{k}]")
     for s, seq in enumerate(data["sequences"]):

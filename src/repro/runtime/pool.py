@@ -18,10 +18,12 @@ count change no bits. ``workers=0`` degenerates to exactly that
 synchronous call (one executor in-process per group), so the fallback is
 bit-identical by construction, not by luck. Grouping itself is a pure
 function of ``(network, config, tokens)`` — never of worker count — so a
-fleet's outputs are reproducible at any parallelism. (Across *different
-groupings* the usual GEMV-vs-GEMM caveat of the seed applies to the
-stepwise modes; combined mode is bit-stable under any grouping because
-its tissue walk is per-sequence.)
+fleet's outputs are reproducible at any parallelism. Every mode is also
+bit-stable under *any* grouping: the stepwise recurrences run as stacked
+per-row GEMVs (:func:`repro.core.executor._row_gemv`), so each
+sequence's bits never depend on its shard-mates, and combined mode's
+tissue walk dispatches per-sequence slices. (The seed's batched GEMMs
+did not have this property for the stepwise modes.)
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ import numpy as np
 
 from repro.core.executor import ExecutionConfig, LSTMExecutor
 from repro.core.plan import PlanCache
+from repro.core.program import ProgramCache
 from repro.errors import BackpressureError, RuntimeStateError, ShapeError
 from repro.nn.network import LSTMNetwork
 from repro.obs import Recorder, merge_run_records
@@ -87,6 +90,10 @@ class InferenceRuntime:
         self.dwell_s = dwell_s
         self.recorder = recorder
         self.plan_cache = PlanCache()
+        # Shared by every workers=0 executor so scheduler groups with one
+        # schedule_key recompile nothing across run_batch calls (the
+        # spawned workers hold their own long-lived caches instead).
+        self.program_cache = ProgramCache()
         self.scheduler = FleetScheduler(
             network, config, max_batch=max_batch, plan_cache=self.plan_cache
         )
@@ -250,7 +257,11 @@ class InferenceRuntime:
         if self.recorder is not None and self.recorder.enabled:
             recorder = Recorder()
         executor = LSTMExecutor(
-            self.network, self.config, plan_cache=self.plan_cache, recorder=recorder
+            self.network,
+            self.config,
+            plan_cache=self.plan_cache,
+            recorder=recorder,
+            program_cache=self.program_cache,
         )
         start = time.perf_counter()
         result = executor.run_batch(group.tokens)

@@ -9,6 +9,13 @@ of the relevance → breakpoints → aligned-tissue pipeline — so that
 same-plan sequences land in the same worker batch and the executor's
 plan grouping fires at full strength fleet-wide.
 
+The same ``schedule_key`` is the plan-signature component of the
+combined-mode program-cache key (:meth:`repro.core.executor.LSTMExecutor.
+_compiled_combined`): a worker's long-lived executor compiles one
+:class:`~repro.core.program.CombinedGroupProgram` per scheduler group
+shape and replays it for every subsequent shard of that group — grouping
+here is what makes program reuse land fleet-wide.
+
 The signature deliberately uses only **layer 0**: its relevance depends
 on nothing but the embedded tokens and the layer weights, so it is
 computable in the scheduling parent without running any recurrence. The

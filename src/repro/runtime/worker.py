@@ -3,11 +3,16 @@
 Each worker attaches the shared-memory weight arena (no weight copies
 cross the queue), rebuilds the network on the shared pages, and runs a
 private :class:`~repro.core.executor.LSTMExecutor` with its own
-:class:`~repro.core.plan.PlanCache` and :class:`~repro.obs.Recorder`.
-Tasks arrive as :class:`~repro.runtime.scheduler.DispatchGroup`-shaped
-tuples; every shard answers with a :class:`~repro.runtime.results.
-ShardResult` whose run record has ``seq_index`` remapped to the original
-batch positions, so the parent can merge fleet records without bookkeeping.
+:class:`~repro.core.plan.PlanCache`, :class:`~repro.core.program.
+ProgramCache` and :class:`~repro.obs.Recorder`. The executor lives for
+the whole worker lifetime, so compiled programs persist across shards:
+the scheduler groups sequences by plan ``schedule_key``, which is exactly
+the combined-mode program-cache key, so every shard of a scheduler group
+after the first replays an already-compiled program. Tasks arrive as
+:class:`~repro.runtime.scheduler.DispatchGroup`-shaped tuples; every
+shard answers with a :class:`~repro.runtime.results.ShardResult` whose
+run record has ``seq_index`` remapped to the original batch positions, so
+the parent can merge fleet records without bookkeeping.
 
 The optional *dwell* models the mobile-GPU device occupancy per sequence
 (the simulator plane's time, during which the host-side control loop is
@@ -22,6 +27,7 @@ import traceback
 
 from repro.core.executor import ExecutionConfig, LSTMExecutor
 from repro.core.plan import PlanCache
+from repro.core.program import ProgramCache
 from repro.obs import Recorder
 from repro.runtime.arena import ArenaManifest, WeightArena
 from repro.runtime.results import ShardResult
@@ -47,7 +53,11 @@ def worker_main(
             network = arena.network()
             recorder = Recorder() if record else None
             executor = LSTMExecutor(
-                network, config, plan_cache=PlanCache(), recorder=recorder
+                network,
+                config,
+                plan_cache=PlanCache(),
+                recorder=recorder,
+                program_cache=ProgramCache(),
             )
             result_queue.put((READY, worker_id, None))
             while True:

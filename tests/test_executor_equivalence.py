@@ -1,24 +1,25 @@
 """Property-based equivalence: batched executor vs the frozen seed walk.
 
-Two families of properties, both over all five execution modes:
+Two families of properties, both over all five execution modes and over
+both executor paths (interpreted loops and ``compile=True`` programs):
 
 * **Batched vs reference.** :class:`repro.core.executor.LSTMExecutor`
-  (united-gate GEMMs, plan-grouped combined mode, optional plan cache) must
-  produce *bit-identical* logits, per-layer ``h_t`` trajectories, and
-  structurally identical :class:`~repro.core.plan.SequencePlan` records
-  compared to :class:`repro.core.reference.ReferenceExecutor` — the
-  verbatim seed arithmetic.
+  (united-gate GEMMs, plan-grouped combined mode, optional plan cache,
+  compiled programs) must produce *bit-identical* logits, per-layer
+  ``h_t`` trajectories, and structurally identical
+  :class:`~repro.core.plan.SequencePlan` records compared to
+  :class:`repro.core.reference.ReferenceExecutor` — the seed arithmetic
+  with the disclosed GEMV lift.
 
 * **Per-sequence vs batched.** Running each sequence alone must reproduce
-  the batch run. Trajectories and plans are bit-exact in combined mode
-  (the grouped ``(1, k, H)`` matmul dispatches the same per-slice GEMM as
-  any group size); for the stepwise modes a ``(1, H)`` recurrence
-  dispatches GEMV while a ``(B, H)`` batch dispatches GEMM — BLAS does
-  not promise those agree bit for bit (the seed had the same property) —
-  so the numeric comparison there is a tight ``allclose``, for the
-  trajectories and for the plan floats of layers fed by them (first-layer
-  plans, computed from the batch-invariant embedding projections, stay
-  bit-exact).
+  the batch run *bit for bit* — trajectories, plan floats at every layer,
+  and logits. The stepwise recurrences and the pooled head run as stacked
+  per-row GEMVs (:func:`repro.core.executor._row_gemv`), so each
+  sequence's arithmetic is independent of the batch composition; the
+  combined mode's grouped ``(G, k, H)`` matmul dispatches the same GEMM
+  per leading-axis slice at any group size. (Before the lift, stepwise
+  layer>=1 plan floats only matched to GEMV-vs-GEMM tolerance and these
+  assertions were relaxed; they are now fully tight.)
 """
 
 from __future__ import annotations
@@ -44,26 +45,12 @@ VOCAB = 40
 CLASSES = 4
 
 
-def assert_plans_equal(plans_a, plans_b, *, exact_floats_above_layer0=True) -> None:
-    """Structural equality of two SequencePlan lists (incl. skip stats).
-
-    ``exact_floats_above_layer0=False`` relaxes the *float* fields
-    (relevance, skip fractions) of layers past the first to a tight
-    allclose. Those fields derive from the previous layer's ``h``
-    trajectory, which across *batch sizes* only matches to GEMV-vs-GEMM
-    tolerance in the stepwise modes — so bit-equality is not a property
-    the executor (old or new) ever guaranteed there; hypothesis
-    eventually finds 2-layer counterexamples. Structure (breakpoints,
-    sublayer lengths, tissue cells) is still compared exactly: a
-    last-bit wobble only flips structure when a relevance value straddles
-    the threshold within one ulp, which random continuous weights do not
-    produce.
-    """
+def assert_plans_equal(plans_a, plans_b) -> None:
+    """Bit-exact structural + float equality of two SequencePlan lists."""
     assert len(plans_a) == len(plans_b)
     for plan_a, plan_b in zip(plans_a, plans_b):
         assert len(plan_a.layers) == len(plan_b.layers)
         for rec_a, rec_b in zip(plan_a.layers, plan_b.layers):
-            exact = exact_floats_above_layer0 or rec_a.layer_index == 0
             assert rec_a.layer_index == rec_b.layer_index
             assert rec_a.seq_length == rec_b.seq_length
             assert rec_a.breakpoints == rec_b.breakpoints
@@ -71,27 +58,12 @@ def assert_plans_equal(plans_a, plans_b, *, exact_floats_above_layer0=True) -> N
             assert len(rec_a.tissues) == len(rec_b.tissues)
             for t_a, t_b in zip(rec_a.tissues, rec_b.tissues):
                 assert t_a.cells == t_b.cells
-                if exact:
-                    assert t_a.skip_fraction == t_b.skip_fraction
-                    assert t_a.warp_skip_fraction == t_b.warp_skip_fraction
-                else:
-                    np.testing.assert_allclose(
-                        t_a.skip_fraction, t_b.skip_fraction, rtol=1e-9, atol=1e-11
-                    )
-                    np.testing.assert_allclose(
-                        t_a.warp_skip_fraction,
-                        t_b.warp_skip_fraction,
-                        rtol=1e-9,
-                        atol=1e-11,
-                    )
+                assert t_a.skip_fraction == t_b.skip_fraction
+                assert t_a.warp_skip_fraction == t_b.warp_skip_fraction
             if rec_a.relevance is None:
                 assert rec_b.relevance is None
-            elif exact:
-                assert np.array_equal(rec_a.relevance, rec_b.relevance)
             else:
-                np.testing.assert_allclose(
-                    rec_a.relevance, rec_b.relevance, rtol=1e-9, atol=1e-11
-                )
+                assert np.array_equal(rec_a.relevance, rec_b.relevance)
 
 
 @st.composite
@@ -108,6 +80,7 @@ def executor_cases(draw):
     alpha_intra = draw(st.sampled_from([0.0, 0.2, 0.5, 0.9]))
     mts = draw(st.integers(1, 6))
     use_links = draw(st.booleans())
+    compiled = draw(st.booleans())
 
     config = LSTMConfig(
         hidden_size=hidden,
@@ -134,15 +107,15 @@ def executor_cases(draw):
         mts=mts,
         use_exact_relevance=draw(st.booleans()),
     )
-    return network, tokens, exec_config, links
+    return network, tokens, exec_config, links, compiled
 
 
 class TestBatchedMatchesReference:
     @settings(max_examples=40, deadline=None)
     @given(case=executor_cases())
     def test_bit_identical_outputs_and_plans(self, case):
-        network, tokens, config, links = case
-        batched = LSTMExecutor(network, config, predicted_links=links)
+        network, tokens, config, links, compiled = case
+        batched = LSTMExecutor(network, config, predicted_links=links, compile=compiled)
         reference = ReferenceExecutor(network, config, predicted_links=links)
         out_b = batched.run_batch(tokens)
         out_r = reference.run_batch(tokens)
@@ -152,13 +125,28 @@ class TestBatchedMatchesReference:
             assert np.array_equal(h_b, h_r)
         assert_plans_equal(out_b.plans, out_r.plans)
 
+    @settings(max_examples=20, deadline=None)
+    @given(case=executor_cases())
+    def test_compiled_matches_interpreted(self, case):
+        network, tokens, config, links, _ = case
+        interpreted = LSTMExecutor(network, config, predicted_links=links, compile=False)
+        compiled = LSTMExecutor(network, config, predicted_links=links, compile=True)
+        out_i = interpreted.run_batch(tokens)
+        out_c = compiled.run_batch(tokens)
+        assert np.array_equal(out_i.logits, out_c.logits)
+        for h_i, h_c in zip(out_i.layer_outputs, out_c.layer_outputs):
+            assert np.array_equal(h_i, h_c)
+        assert_plans_equal(out_i.plans, out_c.plans)
+
     @settings(max_examples=15, deadline=None)
     @given(case=executor_cases())
     def test_plan_cache_does_not_change_results(self, case):
-        network, tokens, config, links = case
+        network, tokens, config, links, compiled = case
         cache = PlanCache()
-        uncached = LSTMExecutor(network, config, predicted_links=links)
-        cached = LSTMExecutor(network, config, predicted_links=links, plan_cache=cache)
+        uncached = LSTMExecutor(network, config, predicted_links=links, compile=compiled)
+        cached = LSTMExecutor(
+            network, config, predicted_links=links, plan_cache=cache, compile=compiled
+        )
         out_u = uncached.run_batch(tokens)
         out_c1 = cached.run_batch(tokens)
         out_c2 = cached.run_batch(tokens)  # second run served from cache
@@ -177,39 +165,17 @@ class TestPerSequenceMatchesBatch:
     @settings(max_examples=30, deadline=None)
     @given(case=executor_cases())
     def test_each_sequence_alone_reproduces_the_batch(self, case):
-        network, tokens, config, links = case
-        executor = LSTMExecutor(network, config, predicted_links=links)
+        network, tokens, config, links, compiled = case
+        executor = LSTMExecutor(network, config, predicted_links=links, compile=compiled)
         batch_out = executor.run_batch(tokens)
         for b in range(tokens.shape[0]):
             solo = executor.run_batch(tokens[b : b + 1])
-            # Combined mode walks every layer per sequence, so even deep
-            # layers see bit-identical inputs at any batch size; stepwise
-            # modes propagate GEMV-vs-GEMM wobble into layer>=1 inputs,
-            # so the derived plan floats get the trajectory tolerance.
-            assert_plans_equal(
-                solo.plans,
-                [batch_out.plans[b]],
-                exact_floats_above_layer0=config.mode is ExecutionMode.COMBINED,
-            )
-            if config.mode is ExecutionMode.COMBINED:
-                # The grouped walk dispatches the same per-slice GEMM for
-                # any group size, so the trajectories are bit-exact. (The
-                # classifier head is a single (B, F) GEMM, which BLAS
-                # dispatches as GEMV at B=1, so logits get allclose.)
-                for h_solo, h_batch in zip(
-                    solo.layer_outputs, batch_out.layer_outputs
-                ):
-                    assert np.array_equal(h_solo[0], h_batch[b])
-            else:
-                # Stepwise recurrences are (B, H) GEMMs; a singleton batch
-                # dispatches GEMV, which BLAS does not promise to match
-                # bit for bit (true of the seed executor as well).
-                for h_solo, h_batch in zip(
-                    solo.layer_outputs, batch_out.layer_outputs
-                ):
-                    np.testing.assert_allclose(
-                        h_solo[0], h_batch[b], rtol=1e-9, atol=1e-11
-                    )
-            np.testing.assert_allclose(
-                solo.logits[0], batch_out.logits[b], rtol=1e-9, atol=1e-11
-            )
+            # Every mode is batch-composition-invariant: the stepwise
+            # recurrences and the pooled head run as stacked per-row GEMVs
+            # and the combined walk dispatches the same GEMM per
+            # leading-axis slice at any group size — so trajectories,
+            # plan floats, and logits are all bit-exact.
+            assert_plans_equal(solo.plans, [batch_out.plans[b]])
+            for h_solo, h_batch in zip(solo.layer_outputs, batch_out.layer_outputs):
+                assert np.array_equal(h_solo[0], h_batch[b])
+            assert np.array_equal(solo.logits[0], batch_out.logits[b])

@@ -75,10 +75,15 @@ class TestRecorder:
 
     def test_cache_delta_counts_this_run_only(self, recorder):
         base, combined = recorder.records
-        # The baseline plans nothing, so its delta is all zeros; the
-        # combined run misses once per sequence on a cold cache.
-        assert all(v == 0 for v in base.cache.values())
+        # The baseline plans nothing, so its plan-cache delta is all
+        # zeros — but it does compile its stepwise programs cold, so the
+        # program-cache family shows misses and no hits.
+        plan_keys = ("relevance_hits", "relevance_misses", "plan_hits", "plan_misses")
+        assert all(base.cache[k] == 0 for k in plan_keys)
+        assert base.cache["program_misses"] > 0
+        assert base.cache["program_hits"] == 0
         assert combined.cache["plan_misses"] > 0
+        assert combined.cache["program_misses"] > 0
 
     def test_timing_has_wall_clock_and_plan_split(self, recorder):
         record = recorder.last()

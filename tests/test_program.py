@@ -1,0 +1,263 @@
+"""Compiled plan programs: bit-identity, workspace reuse, allocations.
+
+Three properties of :mod:`repro.core.program`:
+
+* **Bit identity with the oracle.** The ``compile=True`` executor path
+  equals the frozen :class:`~repro.core.reference.ReferenceExecutor` in
+  all five modes (hypothesis-driven; the broader sweep lives in
+  ``tests/test_executor_equivalence.py``, which also draws the compiled
+  flag).
+
+* **Workspace reuse.** A program owns its buffers for as long as it is
+  cached; consecutive ``run_batch`` calls on one compiled executor must be
+  bit-identical to fresh executors — no state or scratch leaks between
+  runs, including across mid-sequence breakpoint resets (hypothesis).
+
+* **Allocation regression.** Once a program is warm, the steady-state
+  timestep loop must allocate nothing: a tracemalloc diff over a repeat
+  run, filtered to ``program.py``, must show zero net new live blocks.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.config import LSTMConfig  # noqa: E402
+from repro.core import program as program_module  # noqa: E402
+from repro.core.context_prediction import PredictedLink  # noqa: E402
+from repro.core.executor import (  # noqa: E402
+    ExecutionConfig,
+    ExecutionMode,
+    LSTMExecutor,
+)
+from repro.core.program import ProgramCache, sigmoid_into  # noqa: E402
+from repro.core.reference import ReferenceExecutor  # noqa: E402
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.nn.activations import sigmoid  # noqa: E402
+from repro.nn.network import LSTMNetwork  # noqa: E402
+
+VOCAB = 31
+CLASSES = 3
+
+MODE_CONFIGS = {
+    ExecutionMode.BASELINE: {},
+    ExecutionMode.INTER: {"alpha_inter": 50.0, "mts": 3},
+    ExecutionMode.INTRA: {"alpha_intra": 0.4},
+    ExecutionMode.COMBINED: {"alpha_inter": 50.0, "alpha_intra": 0.4, "mts": 3},
+    ExecutionMode.ZERO_PRUNE: {},
+}
+
+
+def make_case(seed: int, hidden: int = 16, layers: int = 2, seq: int = 10, batch: int = 4):
+    config = LSTMConfig(
+        hidden_size=hidden, num_layers=layers, seq_length=seq, input_size=hidden
+    )
+    network = LSTMNetwork(config, VOCAB, CLASSES, seed=seed % 89)
+    rng = np.random.default_rng(seed)
+    tokens = rng.integers(0, VOCAB, size=(batch, seq))
+    links = [
+        PredictedLink(h_bar=np.tanh(rng.normal(size=hidden)), c_bar=rng.normal(size=hidden))
+        for _ in range(layers)
+    ]
+    return network, tokens, links
+
+
+class TestSigmoidInto:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_identical_to_library_sigmoid(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(scale=8.0, size=(5, 17))
+        x[0, 0] = 0.0  # exercise the x >= 0 boundary exactly
+        out = np.empty_like(x)
+        s1, s2 = np.empty_like(x), np.empty_like(x)
+        mask = np.empty(x.shape, dtype=bool)
+        sigmoid_into(x, out, s1, s2, mask)
+        assert np.array_equal(out, sigmoid(x))
+
+    def test_out_may_alias_x(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(scale=4.0, size=(3, 9))
+        expected = sigmoid(x)
+        s1, s2 = np.empty_like(x), np.empty_like(x)
+        mask = np.empty(x.shape, dtype=bool)
+        sigmoid_into(x, x, s1, s2, mask)
+        assert np.array_equal(x, expected)
+
+
+class TestProgramCache:
+    def test_lru_eviction_and_stats(self):
+        cache = ProgramCache(max_entries=2)
+        built = []
+
+        def builder(tag):
+            def build():
+                built.append(tag)
+                return tag
+
+            return build
+
+        assert cache.get("a", builder("a")) == "a"
+        assert cache.get("b", builder("b")) == "b"
+        assert cache.get("a", builder("a2")) == "a"  # hit refreshes LRU slot
+        assert cache.get("c", builder("c")) == "c"  # evicts "b"
+        assert cache.get("b", builder("b2")) == "b2"
+        assert built == ["a", "b", "c", "b2"]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 4
+        assert cache.stats.evictions == 2
+        assert len(cache) == 2
+        d = cache.stats.as_dict()
+        assert d["program_hits"] == 1
+        assert d["program_misses"] == 4
+        assert d["program_hit_rate"] == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            ProgramCache(max_entries=0)
+
+
+class TestCompiledMatchesReference:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_all_five_modes_bit_identical(self, mode):
+        network, tokens, links = make_case(seed=101)
+        config = ExecutionConfig(mode=mode, **MODE_CONFIGS[mode])
+        compiled = LSTMExecutor(network, config, predicted_links=links, compile=True)
+        reference = ReferenceExecutor(network, config, predicted_links=links)
+        out_c = compiled.run_batch(tokens)
+        out_r = reference.run_batch(tokens)
+        assert np.array_equal(out_c.logits, out_r.logits)
+        for h_c, h_r in zip(out_c.layer_outputs, out_r.layer_outputs):
+            assert np.array_equal(h_c, h_r)
+
+    def test_collect_states_matches_interpreted(self):
+        network, tokens, links = make_case(seed=33)
+        config = ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=50.0, mts=3)
+        compiled = LSTMExecutor(network, config, predicted_links=links, compile=True)
+        interpreted = LSTMExecutor(network, config, predicted_links=links, compile=False)
+        out_c = compiled.run_batch(tokens, collect_states=True)
+        out_i = interpreted.run_batch(tokens, collect_states=True)
+        assert len(out_c.layer_states) == len(out_i.layer_states)
+        for c_c, c_i in zip(out_c.layer_states, out_i.layer_states):
+            assert np.array_equal(c_c, c_i)
+
+
+class TestWorkspaceReuse:
+    """Satellite: consecutive runs on one program == fresh executors."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        mode=st.sampled_from(list(ExecutionMode)),
+        batch=st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_consecutive_runs_bit_identical_to_fresh(self, seed, mode, batch):
+        network, _, links = make_case(seed=seed, batch=batch)
+        rng = np.random.default_rng(seed + 1)
+        seq = network.config.seq_length
+        tokens_a = rng.integers(0, VOCAB, size=(batch, seq))
+        tokens_b = rng.integers(0, VOCAB, size=(batch, seq))
+        config = ExecutionConfig(mode=mode, **MODE_CONFIGS[mode])
+
+        reused = LSTMExecutor(network, config, predicted_links=links, compile=True)
+        out_a = reused.run_batch(tokens_a)
+        out_b = reused.run_batch(tokens_b)
+        out_a2 = reused.run_batch(tokens_a)  # and back, same program again
+
+        for out, toks in ((out_a, tokens_a), (out_b, tokens_b), (out_a2, tokens_a)):
+            fresh = LSTMExecutor(network, config, predicted_links=links, compile=True)
+            expect = fresh.run_batch(toks)
+            assert np.array_equal(out.logits, expect.logits)
+            for h_got, h_want in zip(out.layer_outputs, expect.layer_outputs):
+                assert np.array_equal(h_got, h_want)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_reuse_across_mid_sequence_breakpoint_resets(self, seed):
+        """A run whose plans reset mid-sequence leaks nothing into the next.
+
+        alpha_inter=1e12 breaks every link, so every timestep resets the
+        recurrent state from the predicted link — the hardest case for a
+        stale-workspace bug. The following baseline-threshold run on the
+        same program keys differently only through the plan, not the
+        program (reset columns are run-time inputs), so it replays the
+        *same* cached program object.
+        """
+        network, tokens, links = make_case(seed=seed)
+        always = ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=1e12, mts=2)
+        never = ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=0.0, mts=2)
+        shared = ProgramCache()
+        ex_always = LSTMExecutor(
+            network, always, predicted_links=links, compile=True, program_cache=shared
+        )
+        ex_never = LSTMExecutor(
+            network, never, predicted_links=links, compile=True, program_cache=shared
+        )
+
+        first = ex_always.run_batch(tokens)
+        after = ex_never.run_batch(tokens)  # same program, resets gone
+        again = ex_always.run_batch(tokens)  # resets back
+
+        # Stepwise programs are keyed on shapes + weights only: both
+        # configs replayed one program per layer.
+        assert shared.stats.misses == network.num_layers
+        assert shared.stats.hits == 2 * network.num_layers
+
+        fresh_never = LSTMExecutor(network, never, predicted_links=links, compile=True)
+        expect_after = fresh_never.run_batch(tokens)
+        assert np.array_equal(after.logits, expect_after.logits)
+        for h_got, h_want in zip(after.layer_outputs, expect_after.layer_outputs):
+            assert np.array_equal(h_got, h_want)
+        assert np.array_equal(first.logits, again.logits)
+        for h_a, h_b in zip(first.layer_outputs, again.layer_outputs):
+            assert np.array_equal(h_a, h_b)
+
+
+class TestAllocationRegression:
+    """Satellite: warm compiled runs allocate nothing inside program.py."""
+
+    @pytest.mark.parametrize(
+        "mode", [ExecutionMode.BASELINE, ExecutionMode.INTRA, ExecutionMode.COMBINED]
+    )
+    def test_steady_state_program_allocations_are_zero(self, mode):
+        network, tokens, links = make_case(seed=5, hidden=24, seq=16, batch=6)
+        config = ExecutionConfig(mode=mode, **MODE_CONFIGS[mode])
+        executor = LSTMExecutor(network, config, predicted_links=links, compile=True)
+        executor.run_batch(tokens)  # compile + warm every program
+        executor.run_batch(tokens)
+
+        trace_filter = tracemalloc.Filter(True, program_module.__file__)
+        gc.collect()
+        tracemalloc.start(10)
+        try:
+            before = tracemalloc.take_snapshot().filter_traces([trace_filter])
+            for _ in range(3):
+                executor.run_batch(tokens)
+            gc.collect()
+            after = tracemalloc.take_snapshot().filter_traces([trace_filter])
+        finally:
+            tracemalloc.stop()
+        stats = after.compare_to(before, "lineno")
+        grown = [s for s in stats if s.size_diff > 0]
+        assert not grown, "steady-state allocations inside program.py:\n" + "\n".join(
+            f"  {s.traceback}: +{s.size_diff} B in {s.count_diff} block(s)"
+            for s in grown
+        )
+
+    def test_compile_wall_time_only_on_cache_miss(self):
+        network, tokens, links = make_case(seed=9)
+        config = ExecutionConfig(mode=ExecutionMode.COMBINED, **MODE_CONFIGS[ExecutionMode.COMBINED])
+        executor = LSTMExecutor(network, config, predicted_links=links, compile=True)
+        cold = executor.run_batch(tokens)
+        warm = executor.run_batch(tokens)
+        assert cold.timings["compile_wall_s"] > 0.0
+        assert warm.timings["compile_wall_s"] == 0.0
+        assert executor.program_cache.stats.misses > 0
+        assert executor.program_cache.stats.hits > 0
