@@ -838,6 +838,7 @@ def serve_bench(
     seq_length: int = 64,
     seed: int = 11,
     record_path: str | None = None,
+    precision: str = "fp64",
 ):
     """Drive the serving runtime once and report fleet-level figures.
 
@@ -868,13 +869,17 @@ def serve_bench(
     rng = np.random.default_rng(seed + 12)
     tokens = rng.integers(0, 200, size=(sequences, seq_length))
     if mode is ExecutionMode.COMBINED:
-        exec_config = ExecutionConfig(mode=mode, alpha_inter=1e12, alpha_intra=0.05, mts=5)
+        exec_config = ExecutionConfig(
+            mode=mode, alpha_inter=1e12, alpha_intra=0.05, mts=5, precision=precision
+        )
     elif mode is ExecutionMode.INTER:
-        exec_config = ExecutionConfig(mode=mode, alpha_inter=1e12, mts=5)
+        exec_config = ExecutionConfig(
+            mode=mode, alpha_inter=1e12, mts=5, precision=precision
+        )
     elif mode is ExecutionMode.INTRA:
-        exec_config = ExecutionConfig(mode=mode, alpha_intra=0.05)
+        exec_config = ExecutionConfig(mode=mode, alpha_intra=0.05, precision=precision)
     else:
-        exec_config = ExecutionConfig(mode=mode)
+        exec_config = ExecutionConfig(mode=mode, precision=precision)
 
     recorder = Recorder()
     runtime = InferenceRuntime(
@@ -898,8 +903,16 @@ def serve_bench(
                 bit_identical = False
 
     leaks = leaked_segments()
+    weight_bytes = (
+        fleet.record.weight_bytes_totals()
+        if fleet.record is not None
+        else {"fp64": 0.0, "moved": 0.0, "skipped": 0.0}
+    )
     stats = {
         "mode": mode.value,
+        "precision": exec_config.precision.tag,
+        "weight_bytes_fp64": weight_bytes["fp64"],
+        "weight_bytes_moved": weight_bytes["moved"],
         "sequences": sequences,
         "workers": workers,
         "max_batch": max_batch,
@@ -918,6 +931,7 @@ def serve_bench(
         ["Metric", "Value"],
         [
             ("mode", mode.value),
+            ("precision", exec_config.precision.tag),
             ("sequences", sequences),
             ("workers", workers),
             ("dispatched shards", fleet.num_shards),

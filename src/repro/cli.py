@@ -28,6 +28,7 @@ import sys
 from repro.config import APP_NAMES
 from repro.core.executor import ExecutionMode
 from repro.errors import ConfigurationError, ReproError
+from repro.nn.quantize import PRECISIONS
 
 #: Figure names accepted by ``repro figure``.
 FIGURES = (
@@ -68,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="threshold set index 0..10")
     run.add_argument("--sequences", type=int, default=8, help="batch size")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--precision",
+        choices=[*PRECISIONS],
+        default="fp64",
+        help="weight-storage policy (int8/fp16 quantize W/U, fp64 is exact)",
+    )
 
     sweep = sub.add_parser("sweep", help="threshold sweep for one application")
     sweep.add_argument("app", choices=[*APP_NAMES])
@@ -112,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", default=None,
         help="write the merged fleet RunRecord to this JSONL path",
     )
+    serve.add_argument(
+        "--precision",
+        choices=[*PRECISIONS],
+        default="fp64",
+        help="weight-storage policy served by the fleet (arena publishes "
+        "quantized payloads)",
+    )
 
     trace = sub.add_parser(
         "trace", help="record, summarize, and diff structured run traces"
@@ -132,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="threshold set index 0..10")
     record.add_argument("--sequences", type=int, default=8, help="batch size")
     record.add_argument("--seed", type=int, default=0)
+    record.add_argument(
+        "--precision",
+        choices=[*PRECISIONS],
+        default="fp64",
+        help="weight-storage policy of the recorded --mode run (the "
+        "baseline stays fp64 so the diff shows the traffic reduction)",
+    )
     record.add_argument(
         "--out", required=True, help="JSONL output path (one RunRecord per line)"
     )
@@ -193,13 +214,28 @@ def _cmd_run(args) -> int:
             f"{baseline.mean_energy * 1e3:.1f} mJ/seq"
         )
         return 0
-    outcome = app.run(tokens, mode=mode, threshold_index=args.threshold_set)
+    from repro.obs import Recorder
+
+    recorder = Recorder()
+    kwargs = {}
+    if mode is not ExecutionMode.ZERO_PRUNE:
+        kwargs["threshold_index"] = args.threshold_set
+    outcome = app.run(
+        tokens, mode=mode, precision=args.precision, recorder=recorder, **kwargs
+    )
     print(
-        f"{args.app} {mode.value} (set {args.threshold_set}): "
+        f"{args.app} {mode.value} (set {args.threshold_set}, {args.precision}): "
         f"{outcome.speedup_vs(baseline):.2f}x speedup, "
         f"{outcome.energy_saving_vs(baseline):.1%} energy saving, "
         f"{outcome.agreement_with(baseline):.1%} agreement"
     )
+    weight_bytes = recorder.last().weight_bytes_totals()
+    if weight_bytes["moved"] > 0.0:
+        print(
+            f"weight traffic: {weight_bytes['moved'] / 1e6:.2f} MB moved "
+            f"({weight_bytes['fp64'] / max(weight_bytes['moved'], 1e-30):.2f}x "
+            "less than fp64 storage)"
+        )
     return 0
 
 
@@ -271,6 +307,7 @@ def _cmd_serve_bench(args) -> int:
         dwell_s=args.dwell_ms / 1e3,
         seed=args.seed,
         record_path=args.record,
+        precision=args.precision,
     )
     print(report)
     if args.record:
@@ -300,7 +337,9 @@ def _cmd_trace_record(args) -> int:
     kwargs = {}
     if mode not in (ExecutionMode.BASELINE, ExecutionMode.ZERO_PRUNE):
         kwargs["threshold_index"] = args.threshold_set
-    app.run(tokens, mode=mode, recorder=recorder, **kwargs)
+    app.run(
+        tokens, mode=mode, precision=args.precision, recorder=recorder, **kwargs
+    )
     write_jsonl(recorder.records, args.out)
     print(f"wrote {len(recorder.records)} run record(s) to {args.out}")
     if args.chrome:

@@ -97,6 +97,7 @@ from repro.nn.activations import sigmoid, tanh
 from repro.nn.lstm_cell import GATE_ORDER, LSTMCellWeights
 from repro.nn.network import LSTMNetwork
 from repro.nn.pruning import prune_cell_weights
+from repro.nn.quantize import Precision, QuantizedCell, quantize_cell_weights
 
 if TYPE_CHECKING:
     from repro.obs.recorder import Recorder
@@ -134,6 +135,12 @@ class ExecutionConfig:
             walk for the literal memory-access pattern; outputs agree to
             ``allclose`` tolerance only. Forces the interpreted stepwise
             DRS loop. Off by default.
+        precision: Weight-storage policy (:class:`~repro.nn.quantize.
+            Precision`). ``fp64`` (the default) is the identity — bits
+            match the frozen reference in every mode. ``int8`` / ``fp16``
+            quantize ``W``/``U`` once at executor construction, so every
+            downstream path (programs, planning, the fleet) runs on the
+            dequantized values; a plain string (``"int8"``) is coerced.
     """
 
     mode: ExecutionMode = ExecutionMode.BASELINE
@@ -145,8 +152,11 @@ class ExecutionConfig:
     use_exact_relevance: bool = False
     spec: GPUSpec = TEGRA_X1
     compact_drs_gemm: bool = False
+    precision: Precision = Precision()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.precision, Precision):
+            object.__setattr__(self, "precision", Precision.parse(self.precision))
         if self.alpha_inter < 0 or self.alpha_intra < 0:
             raise ConfigurationError("thresholds must be non-negative")
         if self.mts < 1:
@@ -341,6 +351,13 @@ class LSTMExecutor:
         program_cache: Optional shared :class:`~repro.core.program.
             ProgramCache`; when omitted and ``compile`` is on, the
             executor owns a private one.
+        quantized_cells: Pre-quantized per-layer payloads
+            (:class:`~repro.nn.quantize.QuantizedCell`) to run with
+            instead of quantizing ``network``'s weights here. The fleet
+            workers pass the cells rebuilt from the shared-memory arena,
+            so parent and workers compute on byte-identical codes and
+            scales (re-quantizing a dequantized copy could drift by one
+            ulp). Requires a quantized ``config.precision``.
     """
 
     def __init__(
@@ -352,6 +369,7 @@ class LSTMExecutor:
         recorder: "Recorder | None" = None,
         compile: bool = True,
         program_cache: ProgramCache | None = None,
+        quantized_cells: list[QuantizedCell] | None = None,
     ) -> None:
         self.network = network
         self.config = config
@@ -392,6 +410,32 @@ class LSTMExecutor:
                 kept.append(aggregate.kept_fraction)
             self._weights = pruned
             self.pruning_kept_fraction = float(np.mean(kept))
+        #: Quantized W/U payloads (codes + scales) when the precision
+        #: policy is low-precision; ``None`` under fp64. Retained so the
+        #: compacted DRS GEMM can dequantize only the surviving rows.
+        self.quantized_cells: list[QuantizedCell] | None = None
+        if quantized_cells is not None and not config.precision.is_quantized:
+            raise ConfigurationError(
+                "quantized_cells were supplied but config.precision is fp64"
+            )
+        if config.precision.is_quantized:
+            if quantized_cells is None:
+                # Quantize whatever the mode executes (the pruned weights
+                # under ZERO_PRUNE): one pass at construction, mirroring
+                # how pruning replaces the weights before planning.
+                quantized_cells = [
+                    quantize_cell_weights(w, config.precision) for w in self._weights
+                ]
+            elif len(quantized_cells) != len(network.layers):
+                raise ConfigurationError(
+                    "need one quantized cell per layer "
+                    f"({len(network.layers)}), got {len(quantized_cells)}"
+                )
+            self.quantized_cells = list(quantized_cells)
+            self._weights = [cell.dequantized for cell in self.quantized_cells]
+            # The deployed (dequantized) weights are what DRS profiles,
+            # so row ranges are recomputed from them.
+            self._row_ranges = [recurrent_row_ranges(w) for w in self._weights]
         self._united = [_UnitedWeights.from_weights(w) for w in self._weights]
 
     # ------------------------------------------------------------------ API
@@ -484,6 +528,7 @@ class LSTMExecutor:
                 "alpha_intra": cfg.alpha_intra,
                 "mts": cfg.mts,
                 "drs_style": cfg.drs_style,
+                "precision": cfg.precision.tag,
             },
         )
         if builder is None:
@@ -513,6 +558,7 @@ class LSTMExecutor:
                 if cfg.mode is ExecutionMode.ZERO_PRUNE
                 else None
             ),
+            precision=cfg.precision,
         )
 
     # ------------------------------------------------------------ internals
@@ -839,9 +885,20 @@ class LSTMExecutor:
                 if compact:
                     # Literal Algorithm-3 memory pattern: dropped rows of
                     # U_g are never read. Approximate (see docstring).
-                    hu_f = _row_gemv(h, u_f[alive].T)
-                    hu_i = _row_gemv(h, u_i[alive].T)
-                    hu_c = _row_gemv(h, u_c[alive].T)
+                    if self.quantized_cells is not None:
+                        # Fused dequant-on-load: widen only the surviving
+                        # rows of the stored codes, so the bytes touched
+                        # shrink with both the precision and the skip.
+                        # Same values as slicing the pre-dequantized
+                        # matrix (per-row dequant is independent).
+                        qu = self.quantized_cells[layer_index].u
+                        hu_f = _row_gemv(h, qu["f"].dequantize_rows(alive).T)
+                        hu_i = _row_gemv(h, qu["i"].dequantize_rows(alive).T)
+                        hu_c = _row_gemv(h, qu["c"].dequantize_rows(alive).T)
+                    else:
+                        hu_f = _row_gemv(h, u_f[alive].T)
+                        hu_i = _row_gemv(h, u_i[alive].T)
+                        hu_c = _row_gemv(h, u_c[alive].T)
                 else:
                     hu_f = _row_gemv(h, u_f.T)[:, alive]
                     hu_i = _row_gemv(h, u_i.T)[:, alive]

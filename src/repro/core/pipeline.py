@@ -39,6 +39,7 @@ from repro.gpu.specs import GPUSpec, TEGRA_X1
 from repro.gpu.trace import TraceSummary
 from repro.nn.model_zoo import build_calibrated_network
 from repro.nn.network import LSTMNetwork
+from repro.nn.quantize import Precision
 
 if TYPE_CHECKING:
     from repro.obs.recorder import Recorder
@@ -165,13 +166,18 @@ class OptimizedLSTM:
         threshold_index: int | None = None,
         drs_style: str = "hardware",
         zero_prune_fraction: float = 0.37,
+        precision: "Precision | str" = "fp64",
     ) -> ExecutionConfig:
         """Resolve thresholds (explicit, by schedule index, or maxima)."""
+        precision = Precision.parse(precision)
         if mode is ExecutionMode.BASELINE:
-            return ExecutionConfig(mode=mode, spec=self.spec)
+            return ExecutionConfig(mode=mode, spec=self.spec, precision=precision)
         if mode is ExecutionMode.ZERO_PRUNE:
             return ExecutionConfig(
-                mode=mode, spec=self.spec, zero_prune_fraction=zero_prune_fraction
+                mode=mode,
+                spec=self.spec,
+                zero_prune_fraction=zero_prune_fraction,
+                precision=precision,
             )
         calibration = self._require_calibration(mode)
         if threshold_index is not None:
@@ -199,6 +205,7 @@ class OptimizedLSTM:
             mts=calibration.mts,
             drs_style=drs_style,
             spec=self.spec,
+            precision=precision,
         )
 
     def run(
@@ -210,6 +217,7 @@ class OptimizedLSTM:
         threshold_index: int | None = None,
         drs_style: str = "hardware",
         zero_prune_fraction: float = 0.37,
+        precision: "Precision | str" = "fp64",
         keep_traces: bool = False,
         keep_result: bool = False,
         recorder: "Recorder | None" = None,
@@ -218,6 +226,10 @@ class OptimizedLSTM:
         """Execute a batch under one scheme and simulate it on the GPU model.
 
         Args:
+            precision: Weight-storage policy (``"fp64"`` / ``"fp16"`` /
+                ``"int8"`` or a :class:`~repro.nn.quantize.Precision`).
+                Quantized runs compute on dequantized weights and report
+                quantized weight traffic in trace records.
             recorder: Optional :class:`~repro.obs.recorder.Recorder`; when
                 enabled, the run emits a full :class:`~repro.obs.record.
                 RunRecord` — per-kernel launches with stall attribution,
@@ -236,6 +248,7 @@ class OptimizedLSTM:
             threshold_index=threshold_index,
             drs_style=drs_style,
             zero_prune_fraction=zero_prune_fraction,
+            precision=precision,
         )
         links = self.calibration.predicted_links if self.calibration is not None else None
         executor = LSTMExecutor(
@@ -264,6 +277,7 @@ class OptimizedLSTM:
                     "mts": config.mts,
                     "drs_style": config.drs_style,
                     "threshold_index": threshold_index,
+                    "precision": config.precision.tag,
                 },
             )
             if recorder is not None

@@ -227,6 +227,22 @@ class StepwiseProgram:
         self.masks_all = (
             np.empty((batch, seq_len, hidden), dtype=bool) if drs_alpha > 0.0 else None
         )
+        if drs_alpha > 0.0:
+            # Compacted-update scratch (Algorithm 3 in the program): on
+            # steps where some row is trivial across the whole batch, the
+            # g tanh and the cell update run on the surviving columns
+            # only, gathered into the leading elements of these buffers.
+            # Flat full-capacity allocations reshaped per step — the alive
+            # count varies, the capacity does not. The per-step views must
+            # be CONTIGUOUS (prefix-of-flat, not a ``[:, :, :k]`` column
+            # slice): in-place unary ufuncs on strided views read the gap
+            # bytes on some numpy builds, leaking uninitialized scratch
+            # into the activation ladder.
+            self._cfi = np.empty(2 * batch * hidden)
+            self._cg = np.empty(batch * hidden)
+            self._cc = np.empty(batch * hidden)
+            self._dropped = np.empty(hidden, dtype=bool)
+            self._alive = np.empty(hidden, dtype=bool)
         # Fixed views, built once so the loop creates no per-step objects.
         self._h_op = self.h[None, :, None, :]  # (1, B, 1, H) matmul operand
         self._huv = self._hu[:, :, 0, :]  # (4, B, H)
@@ -288,18 +304,53 @@ class StepwiseProgram:
             np.add(self._proj_t[t], self._huv, out=self._pre)
             np.add(self._pre, self._b, out=self._pre)
             sigmoid_into(self._sig, self._sig, self._s1, self._s2, self._m)
-            np.tanh(self._g, out=self._g)
             if drs:
+                # Algorithm 3: the activated output gate decides how much
+                # of the remaining elementwise work survives this step.
+                # The fused three-gate sigmoid above stays on the hot path
+                # (per-element, so activating f/i before the mask is known
+                # is bit-free); only the tanh + cell update compact.
                 mask = self._mask_t[t]
                 np.less(self._o, alpha, out=mask)
-            np.multiply(self._f, c, out=c)
-            np.multiply(self._i, self._g, out=t1)
-            np.add(c, t1, out=c)
-            if drs:
-                # Compute-then-zero is bit-identical to the interpreted
-                # compacted update: masked elements are exactly 0.0 either
-                # way, surviving elements run the same chain.
+                np.all(mask, axis=0, out=self._dropped)
+                if self._dropped.any():
+                    # Batch-wide trivial rows: gather the survivors into
+                    # compact scratch, run the g tanh and the cell update
+                    # on ``(B, alive)`` only, and scatter back. Per-element
+                    # ops on a column subset are bit-identical to full
+                    # width (the recurrent product above stays full width —
+                    # shrinking a GEMV changes BLAS's reduction order; see
+                    # the interpreted loop's docstring).
+                    np.logical_not(self._dropped, out=self._alive)
+                    alive = np.flatnonzero(self._alive)
+                    k = alive.size
+                    bk = self.batch * k
+                    fi = self._cfi[: 2 * bk].reshape(2, self.batch, k)
+                    np.take(self._f, alive, axis=1, out=fi[0])
+                    np.take(self._i, alive, axis=1, out=fi[1])
+                    g = self._cg[:bk].reshape(self.batch, k)
+                    np.take(self._g, alive, axis=1, out=g)
+                    np.tanh(g, out=g)
+                    ck = self._cc[:bk].reshape(self.batch, k)
+                    np.take(c, alive, axis=1, out=ck)
+                    np.multiply(fi[0], ck, out=ck)
+                    np.multiply(fi[1], g, out=g)
+                    np.add(ck, g, out=ck)
+                    c[:, alive] = ck
+                else:
+                    np.tanh(self._g, out=self._g)
+                    np.multiply(self._f, c, out=c)
+                    np.multiply(self._i, self._g, out=t1)
+                    np.add(c, t1, out=c)
+                # Masked elements end exactly 0.0 on both sides: surviving
+                # elements ran the same chain as the interpreted compacted
+                # update, dropped ones never see a stale value.
                 np.copyto(c, 0.0, where=mask)
+            else:
+                np.tanh(self._g, out=self._g)
+                np.multiply(self._f, c, out=c)
+                np.multiply(self._i, self._g, out=t1)
+                np.add(c, t1, out=c)
             np.tanh(c, out=t1)
             if direct:
                 h_out = hs[:, t]

@@ -38,11 +38,66 @@ from repro.gpu.kernels import (
     sgemv_kernel,
 )
 from repro.gpu.specs import GPUSpec
+from repro.nn.quantize import Precision
 
 #: On-chip traffic factor for the large-batch tiled GEMM (two-level tiling
 #: re-uses each staged element across a 32x32 tile, unlike the GEMV-style
 #: per-cell/per-tissue kernels that re-read activations per row).
 TILED_ONCHIP_FACTOR: float = 0.1
+
+#: Host bytes per float64 weight element (the executor's master arrays).
+_FP64 = 8.0
+
+
+def _annotate_weight_bytes(
+    kernel: KernelLaunch,
+    precision: Precision,
+    dense_elems: float,
+    moved_elems: float,
+    rows_total: float,
+    rows_moved: float,
+    payload_overhead: float = 0.0,
+    device_weight_bytes: float | None = None,
+) -> KernelLaunch:
+    """Attach the bytes-moved accounting to one weight-streaming kernel.
+
+    The three counters measure the *host* weight storage the executor
+    actually reads (float64 masters, or int8 codes + float64 scales /
+    fp16 payloads under a quantized policy):
+
+    * ``weight_bytes_fp64`` — what moving this kernel's surviving weight
+      elements costs at float64 storage (the fp64-policy reference).
+    * ``weight_bytes_moved`` — the bytes the active precision streams for
+      the surviving rows, scale vectors included.
+    * ``weight_bytes_skipped`` — the dense-at-precision footprint minus
+      the moved bytes: what DRS row skipping avoided loading.
+
+    Skip and precision therefore compound: a skipped int8 row subtracts
+    8x fewer bytes from ``moved`` than a skipped fp64 row, exactly the
+    multiplicative composition the paper's bandwidth model predicts.
+
+    For quantized policies the *simulated* ``weight_bytes`` (the fp32
+    device model) shrinks by the same storage ratio, with per-row scale
+    vectors streamed at fp32 — flops, threads, and write traffic were
+    derived before this adjustment, so compute work is unchanged and
+    only the memory roof moves.
+    """
+    storage = float(precision.storage_bytes)
+    scale_row = float(precision.scale_bytes_per_row)
+    moved = moved_elems * storage + rows_moved * scale_row + payload_overhead
+    dense = dense_elems * storage + rows_total * scale_row + payload_overhead
+    kernel.extra["weight_bytes_fp64"] = moved_elems * _FP64 + payload_overhead
+    kernel.extra["weight_bytes_moved"] = moved
+    kernel.extra["weight_bytes_skipped"] = dense - moved
+    if precision.is_quantized:
+        if device_weight_bytes is not None:
+            kernel.weight_bytes = device_weight_bytes
+        else:
+            device_scales = rows_moved * (float(FP32) if scale_row else 0.0)
+            kernel.weight_bytes = (
+                kernel.weight_bytes * (storage / FP32) + device_scales
+            )
+    return kernel
 
 
 def _u_sgemm(
@@ -86,15 +141,26 @@ def _u_sgemm(
     )
 
 
-def _input_sgemm(spec: GPUSpec, record: LayerPlanRecord, tag: str) -> KernelLaunch:
+def _input_sgemm(
+    spec: GPUSpec, record: LayerPlanRecord, tag: str, precision: Precision
+) -> KernelLaunch:
     """The per-layer tiled ``Sgemm(W_{f,i,c,o}, x)``."""
-    return sgemm_kernel(
+    kernel = sgemm_kernel(
         4 * record.hidden_size,
         record.input_size,
         record.seq_length,
         spec.onchip_traffic_per_flop(record.hidden_size) * TILED_ONCHIP_FACTOR,
         weight_id=f"W{record.layer_index}",
         tag=tag,
+    )
+    elems = 4.0 * record.hidden_size * record.input_size
+    return _annotate_weight_bytes(
+        kernel,
+        precision,
+        dense_elems=elems,
+        moved_elems=elems,
+        rows_total=4.0 * record.hidden_size,
+        rows_moved=4.0 * record.hidden_size,
     )
 
 
@@ -105,10 +171,11 @@ def _layer_kernels(
     intra: bool,
     drs_style: str,
     zero_prune_kept: float | None,
+    precision: Precision,
 ) -> list[KernelLaunch]:
     hidden = record.hidden_size
     tag = f"layer{record.layer_index}"
-    kernels: list[KernelLaunch] = [_input_sgemm(spec, record, tag)]
+    kernels: list[KernelLaunch] = [_input_sgemm(spec, record, tag, precision)]
 
     if inter:
         kernels.append(relevance_kernel(hidden, record.seq_length, tag=tag))
@@ -118,29 +185,57 @@ def _layer_kernels(
         if zero_prune_kept is not None:
             warp_eff, gather_eff = pruned_spmv_penalties(zero_prune_kept)
             # Bitmap-compressed storage: kept values + 1 bit per element.
-            csr_bytes = 4 * hidden * hidden * (FP32 * zero_prune_kept + 0.125)
+            dense = 4 * hidden * hidden
+            bitmap = dense * 0.125
+            kept_elems = dense * zero_prune_kept
+            csr_bytes = kept_elems * FP32 + bitmap
+            kernel = _u_sgemm(
+                spec,
+                hidden,
+                4 * hidden,
+                batch,
+                weight_id=f"Ucsr{record.layer_index}",
+                tag=tag,
+                weight_bytes=csr_bytes,
+                warp_efficiency=warp_eff,
+                gather_efficiency=gather_eff,
+            )
             kernels.append(
-                _u_sgemm(
-                    spec,
-                    hidden,
-                    4 * hidden,
-                    batch,
-                    weight_id=f"Ucsr{record.layer_index}",
-                    tag=tag,
-                    weight_bytes=csr_bytes,
-                    warp_efficiency=warp_eff,
-                    gather_efficiency=gather_eff,
+                _annotate_weight_bytes(
+                    kernel,
+                    precision,
+                    dense_elems=kept_elems,
+                    moved_elems=kept_elems,
+                    rows_total=4.0 * hidden,
+                    rows_moved=4.0 * hidden,
+                    payload_overhead=bitmap,
+                    device_weight_bytes=(
+                        kept_elems * precision.storage_bytes
+                        + bitmap
+                        + 4.0 * hidden * (FP32 if precision.scale_bytes_per_row else 0.0)
+                    ),
                 )
             )
             kernels.append(elementwise_kernel(hidden, batch=batch, tag=tag))
         elif intra:
             kernels.extend(
-                _intra_tissue_kernels(spec, record, tissue, batch, drs_style, tag)
+                _intra_tissue_kernels(
+                    spec, record, tissue, batch, drs_style, tag, precision
+                )
             )
         else:
+            kernel = _u_sgemm(
+                spec, hidden, 4 * hidden, batch, weight_id=f"U{record.layer_index}", tag=tag
+            )
+            elems = 4.0 * hidden * hidden
             kernels.append(
-                _u_sgemm(
-                    spec, hidden, 4 * hidden, batch, weight_id=f"U{record.layer_index}", tag=tag
+                _annotate_weight_bytes(
+                    kernel,
+                    precision,
+                    dense_elems=elems,
+                    moved_elems=elems,
+                    rows_total=4.0 * hidden,
+                    rows_moved=4.0 * hidden,
                 )
             )
             kernels.append(elementwise_kernel(hidden, batch=batch, tag=tag))
@@ -154,6 +249,7 @@ def _intra_tissue_kernels(
     batch: int,
     drs_style: str,
     tag: str,
+    precision: Precision,
 ) -> list[KernelLaunch]:
     """Algorithm 3's five-kernel flow for one tissue (or one cell)."""
     hidden = record.hidden_size
@@ -169,26 +265,47 @@ def _intra_tissue_kernels(
     else:
         raise PlanError(f"unknown drs_style {drs_style!r}")
 
-    fic_bytes = 3 * hidden * hidden * FP32 * (1.0 - effective_skip)
+    fic_dense = 3.0 * hidden * hidden
+    fic_elems = fic_dense * (1.0 - effective_skip)
+    fic_bytes = fic_elems * FP32
+    o_elems = 1.0 * hidden * hidden
     return [
         # Sgemv(U_o, h_{t-1}) — the selector gate, never skipped.
-        _u_sgemm(spec, hidden, hidden, batch, weight_id=f"Uo{record.layer_index}", tag=tag),
+        _annotate_weight_bytes(
+            _u_sgemm(
+                spec, hidden, hidden, batch, weight_id=f"Uo{record.layer_index}", tag=tag
+            ),
+            precision,
+            dense_elems=o_elems,
+            moved_elems=o_elems,
+            rows_total=float(hidden),
+            rows_moved=float(hidden),
+        ),
         # lstm_ew(o_t)
         elementwise_kernel(hidden, batch=batch, gates=1, tag=tag),
         # DRS(o_t, alpha_intra, R)
         drs_kernel(hidden, batch=batch, tag=tag),
-        # Sgemv(U_{f,i,c}, h_{t-1}, R) — only the kept rows are streamed.
-        _u_sgemm(
-            spec,
-            hidden,
-            3 * hidden,
-            batch,
-            weight_id=f"Ufic{record.layer_index}",
-            tag=tag,
-            weight_bytes=fic_bytes,
-            warp_efficiency=warp_eff,
-            gather_efficiency=gather_eff,
-            uses_crm=uses_crm,
+        # Sgemv(U_{f,i,c}, h_{t-1}, R) — only the kept rows are streamed,
+        # and under a quantized policy only they are dequantized: the
+        # moved bytes shrink with the skip *and* the storage width.
+        _annotate_weight_bytes(
+            _u_sgemm(
+                spec,
+                hidden,
+                3 * hidden,
+                batch,
+                weight_id=f"Ufic{record.layer_index}",
+                tag=tag,
+                weight_bytes=fic_bytes,
+                warp_efficiency=warp_eff,
+                gather_efficiency=gather_eff,
+                uses_crm=uses_crm,
+            ),
+            precision,
+            dense_elems=fic_dense,
+            moved_elems=fic_elems,
+            rows_total=3.0 * hidden,
+            rows_moved=3.0 * hidden * (1.0 - effective_skip),
         ),
         # lstm_ew(f, i, c_{t-1}, c_t, h_t)
         elementwise_kernel(hidden, batch=batch, gates=3, tag=tag),
@@ -202,6 +319,7 @@ def build_kernel_trace(
     intra: bool,
     drs_style: str = "hardware",
     zero_prune_kept: float | None = None,
+    precision: Precision | None = None,
 ) -> list[KernelLaunch]:
     """Build the full kernel trace of one sequence's execution.
 
@@ -214,11 +332,20 @@ def build_kernel_trace(
         drs_style: ``"hardware"`` (CRM) or ``"software"``.
         zero_prune_kept: When set, model the zero-pruning baseline instead
             of DRS; value is the kept-element fraction of the united ``U``.
+        precision: Weight-storage policy. Every weight-streaming kernel is
+            annotated with ``weight_bytes_fp64`` / ``weight_bytes_moved``
+            / ``weight_bytes_skipped`` counters (see
+            :func:`_annotate_weight_bytes`); quantized policies also
+            shrink the simulated weight traffic. ``None`` means fp64.
     """
+    if precision is None:
+        precision = Precision()
     kernels: list[KernelLaunch] = []
     for record in plan.layers:
         kernels.extend(
-            _layer_kernels(spec, record, inter, intra, drs_style, zero_prune_kept)
+            _layer_kernels(
+                spec, record, inter, intra, drs_style, zero_prune_kept, precision
+            )
         )
     return kernels
 

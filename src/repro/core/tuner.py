@@ -17,7 +17,9 @@ Given a network, a calibration token batch and a GPU spec, the tuner:
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +31,10 @@ from repro.core.tissue import align_tissues, calibrate_mts
 from repro.errors import CalibrationError
 from repro.gpu.specs import GPUSpec, TEGRA_X1
 from repro.nn.network import LSTMNetwork
+from repro.nn.quantize import PRECISIONS, Precision
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import OptimizedLSTM
 
 #: Quantile grid searched for the alpha_inter upper limit.
 _ALPHA_QUANTILES = np.linspace(0.02, 0.98, 33)
@@ -182,6 +188,113 @@ def calibrate_offline(
         predicted_links=links,
         relevance_samples=relevance_samples,
     )
+
+
+@dataclass(frozen=True)
+class PrecisionSweepPoint:
+    """One configuration of the joint (thresholds x precision) sweep.
+
+    ``accuracy`` is agreement with the exact fp64 baseline on the same
+    batch — the paper's Δ-accuracy metric, now charging quantization and
+    skipping jointly. The byte counters come from the run's kernel trace,
+    so ``traffic_reduction`` reflects skip x precision compounding.
+    """
+
+    threshold_index: int
+    alpha_inter: float
+    alpha_intra: float
+    precision: str
+    accuracy: float
+    mean_time: float
+    speedup: float
+    weight_bytes_fp64: float
+    weight_bytes_moved: float
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Weight-traffic reduction vs moving survivors at fp64."""
+        if self.weight_bytes_moved <= 0.0:
+            return 1.0
+        return self.weight_bytes_fp64 / self.weight_bytes_moved
+
+
+def sweep_precision_thresholds(
+    app: "OptimizedLSTM",
+    tokens: np.ndarray,
+    mode: ExecutionMode = ExecutionMode.COMBINED,
+    precisions: Iterable["Precision | str"] = PRECISIONS,
+    threshold_indices: Iterable[int] | None = None,
+    count: int = 11,
+) -> list[PrecisionSweepPoint]:
+    """Joint (``alpha_inter``, ``alpha_intra``, ``precision``) sweep.
+
+    Extends the Fig. 19 threshold schedule with the precision axis: each
+    threshold set of the calibrated schedule runs once per storage
+    policy, and every point carries its accuracy delta vs the exact fp64
+    baseline plus its measured weight-byte traffic. Feed the result to
+    :func:`accuracy_guided_precision` for the step-3-style selection.
+
+    Args:
+        app: A calibrated :class:`~repro.core.pipeline.OptimizedLSTM`.
+        tokens: Evaluation batch ``(B, T)``.
+        mode: Scheme swept (INTER / INTRA / COMBINED).
+        precisions: Storage policies to cross with the schedule.
+        threshold_indices: Schedule sets to run; all ``count`` by default.
+        count: Schedule length when ``threshold_indices`` is ``None``.
+    """
+    from repro.obs import Recorder
+
+    baseline = app.run(tokens, mode=ExecutionMode.BASELINE)
+    if threshold_indices is None:
+        threshold_indices = range(count)
+    indices = list(threshold_indices)
+    points: list[PrecisionSweepPoint] = []
+    for precision in precisions:
+        tag = Precision.parse(precision).tag
+        for index in indices:
+            recorder = Recorder()
+            outcome = app.run(
+                tokens,
+                mode=mode,
+                threshold_index=index,
+                precision=tag,
+                recorder=recorder,
+            )
+            record = recorder.last()
+            totals = record.weight_bytes_totals()
+            points.append(
+                PrecisionSweepPoint(
+                    threshold_index=index,
+                    alpha_inter=float(record.config["alpha_inter"]),
+                    alpha_intra=float(record.config["alpha_intra"]),
+                    precision=tag,
+                    accuracy=outcome.agreement_with(baseline),
+                    mean_time=outcome.mean_time,
+                    speedup=outcome.speedup_vs(baseline),
+                    weight_bytes_fp64=totals["fp64"],
+                    weight_bytes_moved=totals["moved"],
+                )
+            )
+    return points
+
+
+def accuracy_guided_precision(
+    points: Sequence[PrecisionSweepPoint], target_accuracy: float
+) -> PrecisionSweepPoint:
+    """Pick the cheapest sweep point still meeting the accuracy target.
+
+    Mirrors :func:`accuracy_guided_index` on the joint grid: among the
+    points whose agreement with the fp64 baseline meets
+    ``target_accuracy``, choose the one that moves the fewest weight
+    bytes (precision and skipping compound in that metric). If no point
+    qualifies, fall back to the most accurate one.
+    """
+    if not points:
+        raise CalibrationError("precision sweep produced no points")
+    eligible = [p for p in points if p.accuracy >= target_accuracy]
+    if not eligible:
+        return max(points, key=lambda p: (p.accuracy, p.traffic_reduction))
+    return min(eligible, key=lambda p: (p.weight_bytes_moved, -p.accuracy))
 
 
 def accuracy_guided_index(

@@ -102,6 +102,9 @@ class TimingSimulator:
             stall_cycles=self._stall_attribution(
                 kernel, exec_time, t_compute, t_dram, t_onchip
             ),
+            weight_bytes_fp64=kernel.extra.get("weight_bytes_fp64", 0.0),
+            weight_bytes_moved=kernel.extra.get("weight_bytes_moved", 0.0),
+            weight_bytes_skipped=kernel.extra.get("weight_bytes_skipped", 0.0),
         )
         self._energy.annotate(stats, uses_crm=kernel.uses_crm)
         return stats

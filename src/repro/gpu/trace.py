@@ -37,6 +37,13 @@ class KernelStats:
         stall_cycles: Per-category pipeline stall cycles (Fig. 4).
         energy: Total energy (J), filled by the energy model.
         energy_parts: Energy per component (static/dram/compute/...).
+        weight_bytes_fp64: Host bytes this kernel's surviving weight
+            elements would stream at float64 storage (zero for kernels
+            that read no weights).
+        weight_bytes_moved: Host weight bytes actually streamed at the
+            active precision (payload + scale vectors, after row skip).
+        weight_bytes_skipped: Dense-at-precision weight bytes the DRS
+            row skip avoided loading.
     """
 
     name: str
@@ -53,6 +60,9 @@ class KernelStats:
     stall_cycles: dict[str, float] = field(default_factory=dict)
     energy: float = 0.0
     energy_parts: dict[str, float] = field(default_factory=dict)
+    weight_bytes_fp64: float = 0.0
+    weight_bytes_moved: float = 0.0
+    weight_bytes_skipped: float = 0.0
 
     @property
     def dram_utilization(self) -> float:
@@ -76,6 +86,9 @@ class KernelStats:
             "energy_j": self.energy,
             "stall_cycles": dict(self.stall_cycles),
             "energy_parts": dict(self.energy_parts),
+            "weight_bytes_fp64": self.weight_bytes_fp64,
+            "weight_bytes_moved": self.weight_bytes_moved,
+            "weight_bytes_skipped": self.weight_bytes_skipped,
         }
 
     @property
@@ -109,6 +122,21 @@ class TraceSummary:
     def total_flops(self) -> float:
         """Useful flops executed."""
         return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_weight_bytes_fp64(self) -> float:
+        """Host weight bytes the run would stream at float64 storage."""
+        return sum(k.weight_bytes_fp64 for k in self.kernels)
+
+    @property
+    def total_weight_bytes_moved(self) -> float:
+        """Host weight bytes actually streamed at the active precision."""
+        return sum(k.weight_bytes_moved for k in self.kernels)
+
+    @property
+    def total_weight_bytes_skipped(self) -> float:
+        """Host weight bytes DRS row skipping avoided loading."""
+        return sum(k.weight_bytes_skipped for k in self.kernels)
 
     @property
     def num_launches(self) -> int:

@@ -107,6 +107,21 @@ def format_run_summary(record: RunRecord) -> str:
     if record.cache is not None:
         cache_bits = [f"{k}={v}" for k, v in sorted(record.cache.items())]
         lines.append("plan cache delta: " + "  ".join(cache_bits))
+    weight_bytes = record.weight_bytes_totals()
+    if weight_bytes["fp64"] > 0:
+        precision = record.config.get("precision", "fp64")
+        reduction = (
+            weight_bytes["fp64"] / weight_bytes["moved"]
+            if weight_bytes["moved"] > 0
+            else float("inf")
+        )
+        lines.append(
+            f"weight bytes [{precision}]: "
+            f"moved={weight_bytes['moved'] / 1e6:.3f}MB "
+            f"skipped={weight_bytes['skipped'] / 1e6:.3f}MB "
+            f"fp64-equivalent={weight_bytes['fp64'] / 1e6:.3f}MB "
+            f"(reduction {reduction:.2f}x)"
+        )
 
     times = record.time_by_kernel()
     counts = record.launches_by_kernel()
@@ -151,6 +166,14 @@ def format_diff(diff: RunDiff) -> str:
         f"{other.simulated_time_s * 1e3:.3f} ms",
         f"speedup: {diff.speedup:.2f}x   energy saving: {diff.energy_saving:.1%}",
     ]
+    base_wb = base.weight_bytes_totals()
+    other_wb = other.weight_bytes_totals()
+    if base_wb["moved"] > 0 and other_wb["moved"] > 0:
+        lines.append(
+            f"weight bytes moved: {base_wb['moved'] / 1e6:.3f}MB -> "
+            f"{other_wb['moved'] / 1e6:.3f}MB "
+            f"({base_wb['moved'] / other_wb['moved']:.2f}x reduction)"
+        )
     rows = [
         (
             d.name,

@@ -39,6 +39,12 @@ class KernelEvent:
         onchip_bytes: Shared-memory traffic.
         energy_j: Whole-system energy (J).
         stall_cycles: Fig. 4 stall attribution (category -> cycles).
+        weight_bytes_fp64: Host bytes the surviving weight elements would
+            stream at float64 storage (0 for weight-free kernels).
+        weight_bytes_moved: Host weight bytes streamed at the active
+            precision (payload + scales, after row skip).
+        weight_bytes_skipped: Dense-at-precision weight bytes DRS row
+            skipping avoided loading.
     """
 
     seq_index: int
@@ -55,6 +61,9 @@ class KernelEvent:
     onchip_bytes: float
     energy_j: float
     stall_cycles: dict[str, float] = field(default_factory=dict)
+    weight_bytes_fp64: float = 0.0
+    weight_bytes_moved: float = 0.0
+    weight_bytes_skipped: float = 0.0
 
 
 @dataclass
@@ -147,6 +156,21 @@ class RunRecord:
             for cat, cycles in event.stall_cycles.items():
                 acc[cat] = acc.get(cat, 0.0) + cycles
         return acc
+
+    def weight_bytes_totals(self) -> dict[str, float]:
+        """Total weight-byte counters over every kernel event.
+
+        Keys: ``fp64`` (surviving elements at float64 storage), ``moved``
+        (streamed at the active precision) and ``skipped`` (avoided by
+        DRS row skipping). ``fp64 / moved`` is the traffic-reduction
+        factor of the active precision policy.
+        """
+        fp64 = moved = skipped = 0.0
+        for event in self.kernels:
+            fp64 += event.weight_bytes_fp64
+            moved += event.weight_bytes_moved
+            skipped += event.weight_bytes_skipped
+        return {"fp64": fp64, "moved": moved, "skipped": skipped}
 
     def mean_counters(self) -> dict[str, float]:
         """Batch-averaged structural counters (breakpoints, tissues, skips)."""

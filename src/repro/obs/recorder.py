@@ -148,6 +148,9 @@ class RunBuilder:
                     onchip_bytes=stats.onchip_bytes,
                     energy_j=stats.energy,
                     stall_cycles=dict(stats.stall_cycles),
+                    weight_bytes_fp64=stats.weight_bytes_fp64,
+                    weight_bytes_moved=stats.weight_bytes_moved,
+                    weight_bytes_skipped=stats.weight_bytes_skipped,
                 )
             )
         seq.num_launches += len(summary.kernels)

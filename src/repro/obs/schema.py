@@ -47,6 +47,11 @@ _KERNEL_FIELDS: dict[str, type | tuple[type, ...]] = {
     "onchip_bytes": (int, float),
     "energy_j": (int, float),
     "stall_cycles": dict,
+    # Bytes-moved accounting (quantized weight memory): fp64-equivalent,
+    # streamed-at-precision, and DRS-skipped weight bytes per launch.
+    "weight_bytes_fp64": (int, float),
+    "weight_bytes_moved": (int, float),
+    "weight_bytes_skipped": (int, float),
 }
 
 #: Required keys of one layer observation and their types.

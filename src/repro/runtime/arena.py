@@ -35,10 +35,16 @@ import numpy as np
 
 from repro.config import LSTMConfig
 from repro.core.plan import fingerprint_network
-from repro.errors import ConfigurationError, RuntimeStateError
+from repro.errors import ArenaLayoutError, ConfigurationError, RuntimeStateError
 from repro.nn.lstm_cell import LSTMCellWeights
 from repro.nn.lstm_layer import LSTMLayer
 from repro.nn.network import LSTMNetwork
+from repro.nn.quantize import (
+    Precision,
+    QuantizedCell,
+    QuantizedMatrix,
+    quantize_network_layers,
+)
 
 #: Per-array alignment inside the segment (bytes).
 _ALIGN = 64
@@ -52,6 +58,12 @@ _CELL_FIELDS = (
     "u_f", "u_i", "u_c", "u_o",
     "b_f", "b_i", "b_c", "b_o",
 )
+
+#: The eight gate matrices a quantized publish stores as payloads.
+_GATE_MATRIX_FIELDS = _CELL_FIELDS[:8]
+
+#: The four bias vectors (always published float64).
+_BIAS_FIELDS = _CELL_FIELDS[8:]
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,11 @@ class ArenaManifest:
     num_classes: int
     per_timestep_head: bool
     head_pool: int
+    #: Weight-storage policy of the published gate matrices (``fp64``,
+    #: ``fp16``, or ``int8``). Quantized segments store per-gate payload
+    #: entries (``layers.N.u_f.q``) plus, for int8, per-row scale vectors
+    #: (``layers.N.u_f.scale``); biases/embedding/head stay float64.
+    precision: str = "fp64"
     entries: tuple[ArenaEntry, ...] = field(default_factory=tuple)
 
 
@@ -94,8 +111,96 @@ def _network_arrays(network: LSTMNetwork) -> list[tuple[str, np.ndarray]]:
     return arrays
 
 
+def _quantized_arrays(
+    network: LSTMNetwork, cells: list[QuantizedCell]
+) -> list[tuple[str, np.ndarray]]:
+    """Flatten a quantized publish: payloads + scales instead of fp64 gates."""
+    arrays: list[tuple[str, np.ndarray]] = [("embedding", network.embedding)]
+    for index, (layer, cell) in enumerate(zip(network.layers, cells)):
+        for name in _GATE_MATRIX_FIELDS:
+            prefix, gate = name.split("_", 1)
+            matrix = (cell.w if prefix == "w" else cell.u)[gate]
+            arrays.append((f"layers.{index}.{name}.q", matrix.data))
+            if matrix.scales is not None:
+                arrays.append((f"layers.{index}.{name}.scale", matrix.scales))
+        for name in _BIAS_FIELDS:
+            arrays.append((f"layers.{index}.{name}", getattr(layer.weights, name)))
+    arrays.append(("head_weight", network.head_weight))
+    arrays.append(("head_bias", network.head_bias))
+    return arrays
+
+
+def _dequantized_network(
+    network: LSTMNetwork, cells: list[QuantizedCell]
+) -> LSTMNetwork:
+    """The network a quantized arena actually serves (for fingerprinting).
+
+    Embedding and head are shared; each layer's weights are the cell's
+    dequantized float64 reconstruction. Because dequantized values differ
+    between precisions, :func:`fingerprint_network` of this network keys
+    the arena — and every downstream plan/program cache — per precision
+    with no extra tag plumbing.
+    """
+    deq = LSTMNetwork.__new__(LSTMNetwork)
+    deq.config = network.config
+    deq.vocab_size = network.vocab_size
+    deq.num_classes = network.num_classes
+    deq.per_timestep_head = network.per_timestep_head
+    deq.head_pool = network.head_pool
+    deq.embedding = network.embedding
+    deq.layers = [LSTMLayer(cell.dequantized) for cell in cells]
+    deq.head_weight = network.head_weight
+    deq.head_bias = network.head_bias
+    return deq
+
+
 def _align(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _entry_nbytes(entry: ArenaEntry) -> int:
+    elems = 1
+    for dim in entry.shape:
+        elems *= int(dim)
+    return elems * np.dtype(entry.dtype).itemsize
+
+
+def validate_layout(manifest: ArenaManifest, segment_size: int) -> None:
+    """Check a manifest's layout against the mapped segment.
+
+    Mixed-dtype segments (int8 payloads interleaved with float64 scale
+    vectors) make silent mis-striding easy: an off-by-one offset would
+    still produce a *viewable* array, just over the wrong bytes. Every
+    entry must therefore start on a :data:`_ALIGN`-byte boundary, stay
+    inside the segment, and not overlap its neighbours — violations raise
+    :class:`~repro.errors.ArenaLayoutError` before any view is built.
+    """
+    if manifest.total_bytes > segment_size:
+        raise ArenaLayoutError(
+            f"manifest claims {manifest.total_bytes} bytes but segment "
+            f"{manifest.shm_name!r} maps only {segment_size}"
+        )
+    prev_key = None
+    prev_end = 0
+    for entry in sorted(manifest.entries, key=lambda e: e.offset):
+        if entry.offset < 0 or entry.offset % _ALIGN != 0:
+            raise ArenaLayoutError(
+                f"entry {entry.key!r} starts at offset {entry.offset}, "
+                f"which is not {_ALIGN}-byte aligned"
+            )
+        end = entry.offset + _entry_nbytes(entry)
+        if end > manifest.total_bytes:
+            raise ArenaLayoutError(
+                f"entry {entry.key!r} ends at byte {end}, past the "
+                f"segment's {manifest.total_bytes} bytes"
+            )
+        if entry.offset < prev_end:
+            raise ArenaLayoutError(
+                f"entry {entry.key!r} (offset {entry.offset}) overlaps "
+                f"{prev_key!r} (which ends at byte {prev_end})"
+            )
+        prev_key = entry.key
+        prev_end = end
 
 
 class WeightArena:
@@ -109,6 +214,9 @@ class WeightArena:
     def __init__(
         self, shm: shared_memory.SharedMemory, manifest: ArenaManifest, owner: bool
     ) -> None:
+        # Both publish and attach funnel through here, so a corrupt or
+        # mis-strided manifest is rejected before any view exists.
+        validate_layout(manifest, shm.size)
         self._shm: shared_memory.SharedMemory | None = shm
         self.manifest = manifest
         self.owner = owner
@@ -116,16 +224,32 @@ class WeightArena:
     # ------------------------------------------------------------ lifecycle
 
     @classmethod
-    def publish(cls, network: LSTMNetwork) -> "WeightArena":
-        """Copy every parameter of ``network`` into a fresh segment."""
-        arrays = _network_arrays(network)
+    def publish(
+        cls, network: LSTMNetwork, precision: "Precision | str" = "fp64"
+    ) -> "WeightArena":
+        """Copy every parameter of ``network`` into a fresh segment.
+
+        Under a quantized ``precision``, the eight gate matrices of each
+        layer are stored as their quantized payloads (int8 codes + fp64
+        per-row scales, or fp16 values) — the segment itself shrinks by
+        nearly the storage ratio, and workers rebuild byte-identical
+        :class:`~repro.nn.quantize.QuantizedCell`\\ s from the shared
+        pages via :meth:`quantized_cells`.
+        """
+        precision = Precision.parse(precision)
+        if precision.is_quantized:
+            cells = quantize_network_layers(network, precision)
+            arrays = _quantized_arrays(network, cells)
+            fingerprint = fingerprint_network(_dequantized_network(network, cells))
+        else:
+            arrays = _network_arrays(network)
+            fingerprint = fingerprint_network(network)
         offsets: list[int] = []
         cursor = 0
         for _, array in arrays:
             cursor = _align(cursor)
             offsets.append(cursor)
             cursor += array.nbytes
-        fingerprint = fingerprint_network(network)
         # The fingerprint keys the *weights*; the random suffix keeps two
         # simultaneous runtimes serving the same network from colliding.
         name = f"{ARENA_NAME_PREFIX}{fingerprint[:12]}-{secrets.token_hex(4)}"
@@ -151,6 +275,7 @@ class WeightArena:
             num_classes=network.num_classes,
             per_timestep_head=network.per_timestep_head,
             head_pool=network.head_pool,
+            precision=precision.tag,
             entries=tuple(entries),
         )
         return cls(shm, manifest, owner=True)
@@ -209,14 +334,29 @@ class WeightArena:
         """Read-only views of every published array, keyed by manifest key."""
         return {entry.key: self._view(entry) for entry in self.manifest.entries}
 
-    def network(self) -> LSTMNetwork:
-        """Rebuild the network on top of the shared pages (no copies).
+    def _gate_payload(
+        self, views: dict[str, np.ndarray], index: int, name: str, copy: bool
+    ) -> QuantizedMatrix:
+        data = views[f"layers.{index}.{name}.q"]
+        scales = views.get(f"layers.{index}.{name}.scale")
+        if copy:
+            data = np.array(data)
+            scales = None if scales is None else np.array(scales)
+        return QuantizedMatrix(data=data, scales=scales)
 
-        The returned network's parameter arrays are read-only views into
-        the segment; it must not outlive this arena's mapping.
+    def network(self) -> LSTMNetwork:
+        """Rebuild the network on top of the shared pages.
+
+        For an fp64 arena the parameter arrays are zero-copy read-only
+        views into the segment; the network must not outlive this arena's
+        mapping. For a quantized arena the gate matrices are dequantized
+        into fresh float64 arrays (the payloads stay shared; only the
+        reconstruction is materialized), so the rebuilt weights are
+        byte-identical to what the publishing side dequantized.
         """
         views = self.arrays()
         manifest = self.manifest
+        precision = Precision.parse(manifest.precision)
         network = LSTMNetwork.__new__(LSTMNetwork)
         network.config = manifest.config
         network.vocab_size = manifest.vocab_size
@@ -226,7 +366,15 @@ class WeightArena:
         network.embedding = views["embedding"]
         network.layers = []
         for index in range(manifest.config.num_layers):
-            fields = {name: views[f"layers.{index}.{name}"] for name in _CELL_FIELDS}
+            if precision.is_quantized:
+                fields = {
+                    name: self._gate_payload(views, index, name, copy=False).dequantize()
+                    for name in _GATE_MATRIX_FIELDS
+                }
+                for name in _BIAS_FIELDS:
+                    fields[name] = views[f"layers.{index}.{name}"]
+            else:
+                fields = {name: views[f"layers.{index}.{name}"] for name in _CELL_FIELDS}
             network.layers.append(LSTMLayer(LSTMCellWeights(**fields)))
         network.head_weight = views["head_weight"]
         network.head_bias = views["head_bias"]
@@ -235,6 +383,44 @@ class WeightArena:
                 "attached weight arena does not match its manifest fingerprint"
             )
         return network
+
+    def quantized_cells(self) -> list[QuantizedCell]:
+        """Rebuild per-layer :class:`QuantizedCell`\\ s from the payloads.
+
+        Workers hand these to :class:`~repro.core.executor.LSTMExecutor`
+        so the fleet runs on the *published* codes and scales rather than
+        re-quantizing — the executor's weights are then byte-identical to
+        the parent's by construction. Payloads and biases are copied out
+        of the segment (they are small at quantized storage), so the
+        cells may outlive the arena mapping.
+        """
+        precision = Precision.parse(self.manifest.precision)
+        if not precision.is_quantized:
+            raise ConfigurationError(
+                "arena was published at fp64; it holds no quantized payloads"
+            )
+        views = self.arrays()
+        cells: list[QuantizedCell] = []
+        for index in range(self.manifest.config.num_layers):
+            qw: dict[str, QuantizedMatrix] = {}
+            qu: dict[str, QuantizedMatrix] = {}
+            kwargs: dict[str, np.ndarray] = {}
+            for name in _GATE_MATRIX_FIELDS:
+                prefix, gate = name.split("_", 1)
+                matrix = self._gate_payload(views, index, name, copy=True)
+                (qw if prefix == "w" else qu)[gate] = matrix
+                kwargs[name] = matrix.dequantize()
+            for name in _BIAS_FIELDS:
+                kwargs[name] = np.array(views[f"layers.{index}.{name}"])
+            cells.append(
+                QuantizedCell(
+                    precision=precision,
+                    dequantized=LSTMCellWeights(**kwargs),
+                    w=qw,
+                    u=qu,
+                )
+            )
+        return cells
 
 
 def leaked_segments(shm_dir: str = "/dev/shm") -> list[str]:

@@ -34,11 +34,12 @@ import time
 
 import numpy as np
 
-from repro.core.executor import ExecutionConfig, LSTMExecutor
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
 from repro.core.plan import PlanCache
 from repro.core.program import ProgramCache
 from repro.errors import BackpressureError, RuntimeStateError, ShapeError
 from repro.nn.network import LSTMNetwork
+from repro.nn.quantize import Precision
 from repro.obs import Recorder, merge_run_records
 from repro.obs.record import RunRecord
 from repro.runtime import worker as worker_mod
@@ -123,7 +124,16 @@ class InferenceRuntime:
         if self.workers == 0:
             return self
         ctx = multiprocessing.get_context(self._mp_context)
-        self._arena = WeightArena.publish(self.network)
+        # Publish at the serving precision so the segment itself shrinks
+        # with the policy (int8 pages are ~8x smaller) and workers rebuild
+        # the published codes byte-for-byte. Zero pruning is the one
+        # exception: pruning must happen *before* quantization, and it
+        # needs the fp64 masters — workers prune and quantize themselves,
+        # deterministically, from the shared fp64 bits.
+        publish_precision = self.config.precision
+        if self.config.mode is ExecutionMode.ZERO_PRUNE:
+            publish_precision = Precision()
+        self._arena = WeightArena.publish(self.network, precision=publish_precision)
         self._task_queue = ctx.Queue()
         self._result_queue = ctx.Queue()
         record = self.recorder is not None and self.recorder.enabled

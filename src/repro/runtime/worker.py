@@ -28,6 +28,7 @@ import traceback
 from repro.core.executor import ExecutionConfig, LSTMExecutor
 from repro.core.plan import PlanCache
 from repro.core.program import ProgramCache
+from repro.errors import ConfigurationError
 from repro.obs import Recorder
 from repro.runtime.arena import ArenaManifest, WeightArena
 from repro.runtime.results import ShardResult
@@ -51,6 +52,21 @@ def worker_main(
     try:
         with WeightArena.attach(manifest) as arena:
             network = arena.network()
+            # A quantized arena carries the published codes and scales;
+            # handing them to the executor (instead of re-quantizing the
+            # rebuilt weights) makes the fleet byte-identical to the
+            # parent by construction. An fp64 arena under a quantized
+            # config (the zero-prune case: pruning must happen before
+            # quantization) lets the executor quantize for itself —
+            # deterministic from the shared fp64 bits.
+            quantized_cells = None
+            if manifest.precision != "fp64":
+                if manifest.precision != config.precision.tag:
+                    raise ConfigurationError(
+                        f"arena published at precision {manifest.precision!r} "
+                        f"but worker config wants {config.precision.tag!r}"
+                    )
+                quantized_cells = arena.quantized_cells()
             recorder = Recorder() if record else None
             executor = LSTMExecutor(
                 network,
@@ -58,6 +74,7 @@ def worker_main(
                 plan_cache=PlanCache(),
                 recorder=recorder,
                 program_cache=ProgramCache(),
+                quantized_cells=quantized_cells,
             )
             result_queue.put((READY, worker_id, None))
             while True:

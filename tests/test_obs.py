@@ -179,6 +179,9 @@ class TestJsonlSchema:
         "onchip_bytes",
         "energy_j",
         "stall_cycles",
+        "weight_bytes_fp64",
+        "weight_bytes_moved",
+        "weight_bytes_skipped",
     }
 
     def test_golden_schema(self, recorder):

@@ -137,6 +137,39 @@ class TestCompiledMatchesReference:
         for h_c, h_r in zip(out_c.layer_outputs, out_r.layer_outputs):
             assert np.array_equal(h_c, h_r)
 
+    @pytest.mark.parametrize("batch", [1, 2, 5])
+    def test_drs_compact_scratch_never_read_before_write(self, batch):
+        """NaN-poisoned scratch must not leak into the compacted DRS chain.
+
+        A fresh ``np.empty`` is usually a zeroed page, so a read of
+        uninitialized compact scratch produces *plausible* numbers on the
+        first run and garbage once the heap is warm (this exact failure
+        shipped once: in-place unary ufuncs on strided ``[:, :, :k]``
+        column slices read the gap bytes on some numpy builds). Poisoning
+        every float64 workspace with NaN after the program is built makes
+        any such read deterministic: one leaked element NaNs the logits.
+        The high threshold at small batch keeps the batch-wide dropped
+        branch firing with small alive counts every few steps.
+        """
+        network, _, links = make_case(seed=57, batch=batch)
+        rng = np.random.default_rng(58)
+        tokens = rng.integers(0, VOCAB, size=(batch, network.config.seq_length))
+        config = ExecutionConfig(mode=ExecutionMode.INTRA, alpha_intra=0.5)
+        cache = ProgramCache()
+        compiled = LSTMExecutor(
+            network, config, predicted_links=links, compile=True, program_cache=cache
+        )
+        compiled.run_batch(tokens)  # builds and caches the programs
+        assert len(cache) == network.num_layers
+        for program in cache._store.values():
+            for name, value in vars(program).items():
+                if isinstance(value, np.ndarray) and value.dtype == np.float64:
+                    if name.startswith("_c") or name in ("_s1", "_s2", "_t1"):
+                        value.fill(np.nan)
+        out = compiled.run_batch(tokens)
+        reference = ReferenceExecutor(network, config, predicted_links=links)
+        assert np.array_equal(out.logits, reference.run_batch(tokens).logits)
+
     def test_collect_states_matches_interpreted(self):
         network, tokens, links = make_case(seed=33)
         config = ExecutionConfig(mode=ExecutionMode.INTER, alpha_inter=50.0, mts=3)

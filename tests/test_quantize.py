@@ -1,0 +1,383 @@
+"""Quantized weight memory: error bounds, policy plumbing, arena layout.
+
+Covers the ``repro.nn.quantize`` contract end to end:
+
+* **Per-element error bounds** (hypothesis property tests): the symmetric
+  per-row int8 scheme reconstructs within ``scale / 2`` everywhere,
+  all-zero rows exactly; fp16 stays within its ``2**-11`` relative
+  rounding in the normal range; ``dequantize_rows`` is bit-identical to
+  slicing the full dequantization (the fused-dequant DRS path relies on
+  it). GRU cells are quantized through the same primitives.
+* **Policy plumbing**: the fp64 policy is a strict no-op — bit-identical
+  to the frozen reference in all five execution modes — and quantized
+  policies keep end-task predictions within the documented tolerance.
+* **Arena layout**: quantized publish/attach round-trips byte-identical
+  payloads; corrupt manifests (misaligned, overlapping, out-of-bounds)
+  raise :class:`~repro.errors.ArenaLayoutError` before any view exists;
+  mixed-dtype segments tear down without leaks.
+* **Tuner**: the joint (thresholds x precision) sweep produces points
+  whose traffic reduction reflects the storage policy and whose selection
+  respects the accuracy target.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config import LSTMConfig
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.core.pipeline import OptimizedLSTM
+from repro.core.reference import ReferenceExecutor
+from repro.core.tuner import (
+    PrecisionSweepPoint,
+    accuracy_guided_precision,
+    sweep_precision_thresholds,
+)
+from repro.errors import ArenaLayoutError, CalibrationError, ConfigurationError
+from repro.nn.gru import GRUCellWeights
+from repro.nn.initializers import WeightInitializer
+from repro.nn.network import LSTMNetwork
+from repro.nn.quantize import (
+    INT8_LEVELS,
+    PRECISIONS,
+    Precision,
+    QuantizedMatrix,
+    dequantize_rows,
+    quantize_cell_weights,
+    quantize_matrix,
+    quantize_network_layers,
+    quantize_rows,
+)
+from repro.runtime import WeightArena, leaked_segments
+from repro.runtime.arena import validate_layout
+
+#: Documented end-task tolerance: minimum prediction agreement with the
+#: fp64 policy on the small test workloads (mirrors bench_quantization's
+#: gate on the acceptance workload).
+MIN_AGREEMENT = {"fp16": 1.0, "int8": 0.9}
+
+MODE_CONFIGS = {
+    ExecutionMode.BASELINE: {},
+    ExecutionMode.INTER: {"alpha_inter": 50.0, "mts": 3},
+    ExecutionMode.INTRA: {"alpha_intra": 0.4},
+    ExecutionMode.COMBINED: {"alpha_inter": 50.0, "alpha_intra": 0.4, "mts": 3},
+    ExecutionMode.ZERO_PRUNE: {},
+}
+
+ALL_MODES = list(ExecutionMode)
+
+
+def build_case(hidden=20, layers=2, seq=10, batch=5, seed=3):
+    config = LSTMConfig(
+        hidden_size=hidden, num_layers=layers, seq_length=seq, input_size=hidden
+    )
+    network = LSTMNetwork(config, 60, 5, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    tokens = rng.integers(0, 60, size=(batch, seq))
+    return network, tokens
+
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestQuantizePrimitives:
+    @settings(max_examples=200, deadline=None)
+    @given(matrix=matrices)
+    def test_int8_error_bounded_by_half_step(self, matrix):
+        codes, scales = quantize_rows(matrix)
+        assert codes.dtype == np.int8
+        assert np.abs(codes.view(np.int8)).max(initial=0) <= INT8_LEVELS
+        err = np.abs(dequantize_rows(codes, scales) - matrix)
+        # Rows with scale 0 are all-zero rows: exact reconstruction.
+        bound = np.where(scales > 0.0, scales / 2.0, 0.0)
+        assert np.all(err <= bound[:, None] + 1e-300)
+
+    @settings(max_examples=100, deadline=None)
+    @given(matrix=matrices)
+    def test_zero_rows_reconstruct_exactly(self, matrix):
+        matrix[0, :] = 0.0
+        codes, scales = quantize_rows(matrix)
+        assert scales[0] == 0.0
+        assert np.array_equal(dequantize_rows(codes, scales)[0], matrix[0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        matrix=hnp.arrays(
+            dtype=np.float64,
+            shape=(6, 8),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    def test_fp16_relative_error_in_normal_range(self, matrix):
+        q = quantize_matrix(matrix, Precision.parse("fp16"))
+        deq = q.dequantize()
+        # 2**-11 relative bound holds for fp16-normal magnitudes; smaller
+        # values land in the subnormal range where the error is absolute.
+        normal = np.abs(matrix) >= 2.0**-14
+        rel = np.abs(deq - matrix)[normal] / np.abs(matrix)[normal]
+        assert rel.size == 0 or rel.max() <= 2.0**-11
+        assert np.all(np.abs(deq - matrix)[~normal] <= 2.0**-24)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        # Bounded to the fp16-representable range: the property covers
+        # both policies, and +/-1e6 would overflow the fp16 cast.
+        matrix=hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        ),
+        data=st.data(),
+    )
+    def test_dequantize_rows_matches_full_dequant_slice(self, matrix, data):
+        rows = data.draw(
+            st.lists(
+                st.integers(0, matrix.shape[0] - 1), min_size=1, max_size=6
+            )
+        )
+        rows = np.asarray(rows)
+        for tag in ("int8", "fp16"):
+            q = quantize_matrix(matrix, Precision.parse(tag))
+            assert np.array_equal(q.dequantize_rows(rows), q.dequantize()[rows])
+
+    def test_precision_policy_parsing_and_bytes(self):
+        assert Precision.parse("fp64") == Precision()
+        assert not Precision().is_quantized
+        assert Precision.parse(Precision(weights="int8")).tag == "int8"
+        assert [Precision.parse(p).storage_bytes for p in PRECISIONS] == [8, 2, 1]
+        assert Precision.parse("int8").scale_bytes_per_row == 8
+        assert Precision.parse("fp16").scale_bytes_per_row == 0
+        with pytest.raises(ConfigurationError):
+            Precision.parse("fp32")
+        with pytest.raises(ConfigurationError):
+            quantize_matrix(np.zeros((2, 2)), Precision())
+
+    def test_payload_bytes_reflect_storage_ratio(self):
+        matrix = np.random.default_rng(0).normal(size=(16, 16))
+        int8 = quantize_matrix(matrix, Precision.parse("int8"))
+        fp16 = quantize_matrix(matrix, Precision.parse("fp16"))
+        assert int8.payload_bytes == 16 * 16 + 16 * 8  # codes + fp64 scales
+        assert fp16.payload_bytes == 16 * 16 * 2
+        assert isinstance(int8, QuantizedMatrix)
+
+
+class TestGRUQuantization:
+    def test_gru_cell_quantizes_with_bounded_error(self):
+        init = WeightInitializer(seed=7)
+        weights = GRUCellWeights.initialize(12, 10, init)
+        cell = quantize_cell_weights(weights, Precision.parse("int8"))
+        assert isinstance(cell.dequantized, GRUCellWeights)
+        for gate in ("z", "r", "n"):
+            for store, prefix in ((cell.w, "w"), (cell.u, "u")):
+                original = getattr(weights, f"{prefix}_{gate}")
+                q = store[gate]
+                err = np.abs(q.dequantize() - original)
+                bound = np.where(q.scales > 0.0, q.scales / 2.0, 0.0)
+                assert np.all(err <= bound[:, None])
+            # Biases pass through untouched (same object, not a copy).
+            assert getattr(cell.dequantized, f"b_{gate}") is getattr(
+                weights, f"b_{gate}"
+            )
+
+    def test_unknown_cell_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_cell_weights(object(), Precision.parse("int8"))
+
+
+class TestExecutorPolicy:
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+    def test_fp64_policy_is_bit_identical_to_reference(self, mode):
+        network, tokens = build_case()
+        config = ExecutionConfig(mode=mode, **MODE_CONFIGS[mode])
+        assert config.precision == Precision()
+        out = LSTMExecutor(network, config).run_batch(tokens)
+        ref = ReferenceExecutor(network, config).run_batch(tokens)
+        assert np.array_equal(out.logits, ref.logits)
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+    @pytest.mark.parametrize("tag", ["fp16", "int8"])
+    def test_quantized_predictions_within_tolerance(self, mode, tag):
+        # A bigger batch than the other cases: agreement is a per-sequence
+        # fraction, so 5 sequences would quantize the metric itself to
+        # 20 % steps.
+        network, tokens = build_case(batch=20)
+        config = ExecutionConfig(mode=mode, **MODE_CONFIGS[mode])
+        base = LSTMExecutor(network, config).run_batch(tokens)
+        quant = LSTMExecutor(
+            network, dataclasses.replace(config, precision=tag)
+        ).run_batch(tokens)
+        agreement = float(np.mean(quant.predictions() == base.predictions()))
+        assert agreement >= MIN_AGREEMENT[tag]
+        # Quantization must actually change the weights (not a no-op).
+        assert not np.array_equal(quant.logits, base.logits) or tag == "fp16"
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+    def test_compiled_and_interpreted_agree_under_quantization(self, mode):
+        network, tokens = build_case()
+        config = ExecutionConfig(
+            mode=mode, precision="int8", **MODE_CONFIGS[mode]
+        )
+        compiled = LSTMExecutor(network, config).run_batch(tokens)
+        interpreted = LSTMExecutor(network, config, compile=False).run_batch(tokens)
+        assert np.array_equal(compiled.logits, interpreted.logits)
+
+    def test_quantized_cells_param_requires_quantized_precision(self):
+        network, _ = build_case()
+        cells = quantize_network_layers(network, Precision.parse("int8"))
+        with pytest.raises(ConfigurationError):
+            LSTMExecutor(
+                network,
+                ExecutionConfig(mode=ExecutionMode.BASELINE),
+                quantized_cells=cells,
+            )
+
+
+class TestQuantizedArena:
+    def test_quantized_publish_attach_round_trip(self):
+        network, tokens = build_case()
+        config = ExecutionConfig(
+            mode=ExecutionMode.COMBINED,
+            precision="int8",
+            **MODE_CONFIGS[ExecutionMode.COMBINED],
+        )
+        expected = LSTMExecutor(network, config).run_batch(tokens)
+        with WeightArena.publish(network, precision="int8") as arena:
+            assert arena.manifest.precision == "int8"
+            with WeightArena.attach(arena.manifest) as attached:
+                cells = attached.quantized_cells()
+                out = LSTMExecutor(
+                    network, config, quantized_cells=cells
+                ).run_batch(tokens)
+                assert np.array_equal(out.logits, expected.logits)
+        assert leaked_segments() == []
+
+    def test_quantized_cells_byte_identical_to_direct_quantization(self):
+        network, _ = build_case()
+        direct = quantize_network_layers(network, Precision.parse("int8"))
+        with WeightArena.publish(network, precision="int8") as arena:
+            rebuilt = arena.quantized_cells()
+        for a, b in zip(direct, rebuilt):
+            for gate in ("f", "i", "c", "o"):
+                for store_a, store_b in ((a.w, b.w), (a.u, b.u)):
+                    assert np.array_equal(store_a[gate].data, store_b[gate].data)
+                    assert np.array_equal(store_a[gate].scales, store_b[gate].scales)
+
+    def test_quantized_segment_is_smaller(self):
+        network, _ = build_case(hidden=32)
+        with WeightArena.publish(network) as fp64_arena:
+            fp64_bytes = fp64_arena.manifest.total_bytes
+        with WeightArena.publish(network, precision="int8") as int8_arena:
+            int8_bytes = int8_arena.manifest.total_bytes
+        # Embedding/head/biases stay fp64, so well short of 8x — but the
+        # gate payloads dominate and the segment must clearly shrink.
+        assert int8_bytes < fp64_bytes / 2
+        assert leaked_segments() == []
+
+    def test_quantized_cells_on_fp64_manifest_rejected(self):
+        network, _ = build_case()
+        with WeightArena.publish(network) as arena:
+            with pytest.raises(ConfigurationError):
+                arena.quantized_cells()
+
+    def test_corrupt_layouts_raise_arena_layout_error(self):
+        network, _ = build_case()
+        with WeightArena.publish(network, precision="int8") as arena:
+            manifest = arena.manifest
+            size = manifest.total_bytes
+
+            def tampered(**changes):
+                entries = list(manifest.entries)
+                entries[1] = dataclasses.replace(entries[1], **changes)
+                return dataclasses.replace(manifest, entries=tuple(entries))
+
+            # Misaligned offset (valid bytes, wrong stride discipline).
+            with pytest.raises(ArenaLayoutError, match="aligned"):
+                validate_layout(tampered(offset=manifest.entries[1].offset + 1), size)
+            # Overlap with the previous entry.
+            with pytest.raises(ArenaLayoutError, match="overlaps"):
+                validate_layout(tampered(offset=manifest.entries[0].offset), size)
+            # Past the end of the segment.
+            with pytest.raises(ArenaLayoutError, match="past"):
+                validate_layout(
+                    tampered(shape=(10_000, 10_000)), size
+                )
+            # Manifest claims more bytes than the segment maps.
+            with pytest.raises(ArenaLayoutError, match="maps only"):
+                validate_layout(
+                    dataclasses.replace(manifest, total_bytes=size + 1), size
+                )
+        assert leaked_segments() == []
+
+
+class TestFig14Workload:
+    def test_mr_accuracy_delta_within_tolerance(self):
+        """End-task accuracy delta on a Table II app (fig. 14/18 workloads).
+
+        Compares quantized predictions against the fp64 policy *in the
+        same mode*, so the delta charges quantization alone, not the
+        skipping it rides on.
+        """
+        app = OptimizedLSTM.from_app("MR", seed=0)
+        app.calibrate(num_sequences=4)
+        tokens = app.sample_tokens(16, seed=99)
+        for mode, kwargs in (
+            (ExecutionMode.BASELINE, {}),
+            (ExecutionMode.COMBINED, {"threshold_index": 2}),
+        ):
+            exact = app.run(tokens, mode=mode, **kwargs)
+            for tag, tolerance in MIN_AGREEMENT.items():
+                quant = app.run(tokens, mode=mode, precision=tag, **kwargs)
+                assert quant.agreement_with(exact) >= tolerance, (mode, tag)
+
+
+class TestPrecisionSweep:
+    def test_joint_sweep_and_accuracy_guided_selection(self):
+        network, tokens = build_case(hidden=16, seq=8, batch=3)
+        app = OptimizedLSTM(network)
+        app.calibrate(num_sequences=3)
+        points = sweep_precision_thresholds(
+            app, tokens, threshold_indices=[0, 2], precisions=("fp64", "int8")
+        )
+        assert len(points) == 4
+        tags = {p.precision for p in points}
+        assert tags == {"fp64", "int8"}
+        for point in points:
+            assert 0.0 <= point.accuracy <= 1.0
+            assert point.weight_bytes_moved > 0.0
+            assert point.traffic_reduction >= 1.0
+        int8_points = [p for p in points if p.precision == "int8"]
+        fp64_points = [p for p in points if p.precision == "fp64"]
+        # Same thresholds, smaller storage: int8 must move fewer bytes.
+        assert max(p.weight_bytes_moved for p in int8_points) < min(
+            p.weight_bytes_moved for p in fp64_points
+        )
+        choice = accuracy_guided_precision(points, target_accuracy=0.0)
+        assert choice.weight_bytes_moved == min(p.weight_bytes_moved for p in points)
+        with pytest.raises(CalibrationError):
+            accuracy_guided_precision([], target_accuracy=0.9)
+
+    def test_traffic_reduction_handles_zero_moved(self):
+        point = PrecisionSweepPoint(
+            threshold_index=0,
+            alpha_inter=0.0,
+            alpha_intra=0.0,
+            precision="fp64",
+            accuracy=1.0,
+            mean_time=1.0,
+            speedup=1.0,
+            weight_bytes_fp64=0.0,
+            weight_bytes_moved=0.0,
+        )
+        assert point.traffic_reduction == 1.0
