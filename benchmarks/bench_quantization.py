@@ -31,6 +31,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.bench.gates import GateSet
 from repro.config import LSTMConfig
 from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
 from repro.core.plan import PlanCache
@@ -114,10 +115,10 @@ def traffic(executor: LSTMExecutor, plans, spec) -> tuple[float, float]:
     return fp64, moved
 
 
-def run() -> dict:
+def run() -> tuple[dict, GateSet]:
     network, tokens = build_case()
     results: dict[str, dict] = {}
-    failures: list[str] = []
+    gates = GateSet("quant")
     for mode in MODES:
         config = mode_config(mode)
         reference = ReferenceExecutor(network, config)
@@ -127,10 +128,11 @@ def run() -> dict:
         fp64_exec = LSTMExecutor(network, config, plan_cache=PlanCache())
         out_fp64 = fp64_exec.run_batch(tokens)
         fp64_identical = bool(np.array_equal(out_fp64.logits, out_ref.logits))
-        if not fp64_identical:
-            failures.append(
-                f"{mode.value}: fp64 policy is not bit-identical to the reference"
-            )
+        gates.require_true(
+            f"{mode.value}/fp64-bit-identical",
+            fp64_identical,
+            "fp64 policy is not bit-identical to the reference",
+        )
         per_mode["fp64"] = {"bit_identical_to_reference": fp64_identical}
 
         base_pred = out_fp64.predictions()
@@ -141,11 +143,12 @@ def run() -> dict:
             out = executor.run_batch(tokens)
             agreement = float(np.mean(out.predictions() == base_pred))
             gate = MIN_AGREEMENT[tag]
-            if agreement < gate:
-                failures.append(
-                    f"{mode.value}/{tag}: agreement {agreement:.4f} below the "
-                    f"{gate:.2f} tolerance"
-                )
+            gates.require_at_least(
+                f"{mode.value}/{tag}/agreement",
+                agreement,
+                gate,
+                "prediction agreement with the fp64 policy",
+            )
             bytes_fp64, bytes_moved = traffic(executor, out.plans, config.spec)
             reduction = bytes_fp64 / bytes_moved if bytes_moved > 0.0 else 1.0
             per_mode[tag] = {
@@ -162,18 +165,19 @@ def run() -> dict:
         results[mode.value] = per_mode
 
     int8_combined = results["combined"]["int8"]["traffic_reduction"]
-    if int8_combined < MIN_INT8_COMBINED_TRAFFIC_REDUCTION:
-        failures.append(
-            f"combined/int8: traffic reduction {int8_combined:.2f}x below the "
-            f"{MIN_INT8_COMBINED_TRAFFIC_REDUCTION:.1f}x gate"
-        )
+    gates.require_at_least(
+        "combined/int8/traffic-reduction",
+        int8_combined,
+        MIN_INT8_COMBINED_TRAFFIC_REDUCTION,
+    )
 
     bound = error_bound_check(network)
-    if not bound["bound_holds"]:
-        failures.append(
-            "int8 per-element error exceeded scale/2: worst ratio "
-            f"{bound['worst_error_over_half_step']:.4f}"
-        )
+    gates.require_at_most(
+        "int8/error-over-half-step",
+        bound["worst_error_over_half_step"],
+        1.0,
+        "per-element |deq - x| / (scale/2)",
+    )
     print(
         f"error bound: {bound['matrices_checked']} matrices, worst "
         f"|deq-x|/(scale/2) = {bound['worst_error_over_half_step']:.4f}"
@@ -189,22 +193,18 @@ def run() -> dict:
         "min_int8_combined_traffic_reduction": MIN_INT8_COMBINED_TRAFFIC_REDUCTION,
         "results": results,
         "error_bound": bound,
-        "failures": failures,
-        "passed": not failures,
-    }
+        "gates": gates.as_dict(),
+        "failures": gates.failures,
+        "passed": gates.passed,
+    }, gates
 
 
 def main() -> int:
-    report = run()
+    report, gates = run()
     out_path = pathlib.Path(__file__).parent.parent / "BENCH_quant.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
-    if not report["passed"]:
-        for failure in report["failures"]:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        return 1
-    print("quantization gate passed")
-    return 0
+    return gates.exit_code()
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro.bench.gates import GateSet
 from repro.config import LSTMConfig
 from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
 from repro.nn.network import LSTMNetwork
@@ -106,17 +107,20 @@ def expected_logits(
     return logits
 
 
-def run() -> dict:
+def run() -> tuple[dict, GateSet]:
     network, tokens, exec_config = build_case()
     reference = expected_logits(network, tokens, exec_config)
-    failures: list[str] = []
+    gates = GateSet("runtime")
 
     scaling: list[dict] = []
     for workers in WORKER_COUNTS:
         stats, logits = serve_once(network, tokens, exec_config, workers, queue_depth=16)
         stats["bit_identical"] = bool(np.array_equal(logits, reference))
-        if not stats["bit_identical"]:
-            failures.append(f"workers={workers}: fleet logits differ from the executor")
+        gates.require_true(
+            f"workers={workers}/bit-identical",
+            stats["bit_identical"],
+            "fleet logits differ from the executor",
+        )
         scaling.append(stats)
         print(
             f"workers={workers}  depth=16  {stats['wall_s'] * 1e3:8.1f} ms   "
@@ -130,8 +134,11 @@ def run() -> dict:
             network, tokens, exec_config, WORKER_COUNTS[-1], queue_depth=depth
         )
         stats["bit_identical"] = bool(np.array_equal(logits, reference))
-        if not stats["bit_identical"]:
-            failures.append(f"depth={depth}: fleet logits differ from the executor")
+        gates.require_true(
+            f"depth={depth}/bit-identical",
+            stats["bit_identical"],
+            "fleet logits differ from the executor",
+        )
         depth_sweep.append(stats)
         print(
             f"workers={WORKER_COUNTS[-1]}  depth={depth:2d}  "
@@ -141,19 +148,23 @@ def run() -> dict:
         )
 
     speedup = scaling[-1]["throughput_seq_s"] / scaling[0]["throughput_seq_s"]
-    if speedup < MIN_SCALING:
-        failures.append(
-            f"{WORKER_COUNTS[-1]}-worker throughput is {speedup:.2f}x the "
-            f"1-worker figure, below the {MIN_SCALING:.1f}x gate"
-        )
+    gates.require_at_least(
+        f"scaling-{WORKER_COUNTS[-1]}w-vs-1w",
+        speedup,
+        MIN_SCALING,
+        "fleet throughput scaling",
+    )
     print(
         f"scaling {WORKER_COUNTS[-1]} vs 1 worker: {speedup:.2f}x "
         f"(gate {MIN_SCALING:.1f}x)"
     )
 
     leaks = leaked_segments()
-    if leaks:
-        failures.append(f"leaked shared-memory segments: {', '.join(leaks)}")
+    gates.require_true(
+        "no-leaked-segments",
+        not leaks,
+        f"leaked shared-memory segments: {', '.join(leaks)}" if leaks else "",
+    )
 
     return {
         "workload": {
@@ -181,22 +192,18 @@ def run() -> dict:
         "min_scaling": MIN_SCALING,
         "bit_identical": all(s["bit_identical"] for s in scaling + depth_sweep),
         "leaked_segments": leaks,
-        "failures": failures,
-        "passed": not failures,
-    }
+        "gates": gates.as_dict(),
+        "failures": gates.failures,
+        "passed": gates.passed,
+    }, gates
 
 
 def main() -> int:
-    report = run()
+    report, gates = run()
     out_path = pathlib.Path(__file__).parent.parent / "BENCH_runtime.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
-    if not report["passed"]:
-        for failure in report["failures"]:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        return 1
-    print("runtime scaling gate passed")
-    return 0
+    return gates.exit_code()
 
 
 if __name__ == "__main__":

@@ -25,10 +25,13 @@ from repro.bench.harness import (
     table2_applications,
 )
 from repro.bench.export import dump_json, sweep_to_csv, to_jsonable
+from repro.bench.gates import GateCheck, GateSet
 from repro.bench.reporting import format_series, format_table
 
 __all__ = [
     "ExperimentContext",
+    "GateCheck",
+    "GateSet",
     "ablation_exact_relevance",
     "ablation_large_gpu",
     "ablation_predicted_link",

@@ -1,12 +1,13 @@
 """Command-line interface for the reproduction.
 
-Six subcommands::
+Seven subcommands::
 
     repro info                         # Table I + Table II
     repro run BABI --mode combined --set 4 --sequences 8
     repro sweep MR --mode combined     # the Fig. 19 row for one app
     repro figure fig14 --apps MR,PTB   # regenerate a paper figure
     repro serve-bench --workers 2 --sequences 16 --mode combined
+    repro serve-stream --mode intra --duration-s 2 --record stream.jsonl
     repro trace record MR --out runs.jsonl --chrome trace.json
     repro trace summarize runs.jsonl
     repro trace diff base.jsonl other.jsonl
@@ -125,6 +126,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="fp64",
         help="weight-storage policy served by the fleet (arena publishes "
         "quantized payloads)",
+    )
+
+    stream = sub.add_parser(
+        "serve-stream",
+        help="drive the streaming runtime through a deterministic open-loop "
+        "workload and report latency/goodput figures",
+    )
+    stream.add_argument(
+        "--mode",
+        choices=["baseline", "intra", "zero_prune"],
+        default="baseline",
+        help="execution scheme to stream (inter/combined plan from "
+        "full-sequence relevance and cannot stream)",
+    )
+    stream.add_argument("--alpha-intra", type=float, default=0.35,
+                        help="intra-cell threshold when --mode intra")
+    stream.add_argument("--duration-s", type=float, default=2.0,
+                        help="arrival window (virtual seconds)")
+    stream.add_argument("--session-rate", type=float, default=10.0,
+                        help="mean session starts per second")
+    stream.add_argument("--max-batch", type=int, default=8,
+                        help="sessions batched per tick")
+    stream.add_argument("--chunk-len", type=int, default=4,
+                        help="max tokens served per session per tick")
+    stream.add_argument("--queue-limit", type=int, default=64,
+                        help="admission-queue bound (backpressure window)")
+    stream.add_argument("--tick-interval-ms", type=float, default=2.0,
+                        help="virtual tick cadence")
+    stream.add_argument("--hidden", type=int, default=64, help="hidden size")
+    stream.add_argument("--layers", type=int, default=2, help="LSTM layers")
+    stream.add_argument("--seed", type=int, default=11)
+    stream.add_argument(
+        "--record", default=None,
+        help="write the merged serving-window RunRecord to this JSONL path",
     )
 
     trace = sub.add_parser(
@@ -321,6 +356,80 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_serve_stream(args) -> int:
+    from repro.config import LSTMConfig
+    from repro.core.executor import ExecutionConfig
+    from repro.nn.network import LSTMNetwork
+    from repro.obs import Recorder, write_jsonl
+    from repro.runtime import (
+        LoadSpec,
+        StreamingServer,
+        generate_arrivals,
+        run_open_loop,
+    )
+
+    mode = ExecutionMode(args.mode)
+    exec_kwargs = {"mode": mode}
+    if mode is ExecutionMode.INTRA:
+        exec_kwargs["alpha_intra"] = args.alpha_intra
+    exec_config = ExecutionConfig(**exec_kwargs)
+    net_config = LSTMConfig(
+        hidden_size=args.hidden,
+        num_layers=args.layers,
+        seq_length=64,
+        input_size=args.hidden,
+    )
+    network = LSTMNetwork(
+        net_config, vocab_size=200, num_classes=8, seed=args.seed,
+        per_timestep_head=True,
+    )
+    recorder = Recorder()
+    server = StreamingServer(
+        network,
+        exec_config,
+        max_batch=args.max_batch,
+        chunk_len=args.chunk_len,
+        queue_limit=args.queue_limit,
+        recorder=recorder,
+    )
+    spec = LoadSpec(
+        duration_s=args.duration_s,
+        session_rate=args.session_rate,
+        seed=args.seed,
+        chunk_len=args.chunk_len,
+    )
+    arrivals = generate_arrivals(spec, vocab_size=200)
+    print(f"Serving {len(arrivals)} scheduled submissions ...", file=sys.stderr)
+    report = run_open_loop(
+        server, arrivals, tick_interval_s=args.tick_interval_ms / 1e3
+    )
+    stats = server.stats
+    print(
+        f"streamed {report.completed_submissions}/{report.offered_submissions} "
+        f"submissions ({report.completed_tokens} tokens) over "
+        f"{report.duration_s:.2f} virtual s in {stats.ticks} ticks"
+    )
+    print(
+        f"latency: p50 {report.percentile(50) * 1e3:.1f} ms, "
+        f"p99 {report.percentile(99) * 1e3:.1f} ms, "
+        f"max {report.as_dict()['latency_max_s'] * 1e3:.1f} ms"
+    )
+    print(
+        f"goodput {report.goodput_tokens_per_s:.1f} tokens/s, "
+        f"shed {report.shed_fraction:.1%}, "
+        f"occupancy {stats.occupancy_mean(args.max_batch):.2f}, "
+        f"evictions lru={stats.lru_evictions} ttl={stats.ttl_evictions}"
+    )
+    if args.record:
+        merged = server.merged_record()
+        if merged is None:
+            print("repro: error: no ticks were recorded", file=sys.stderr)
+            return 1
+        write_jsonl([merged], args.record)
+        print(f"wrote merged serving-window record to {args.record}")
+    return 0
+
+
 def _cmd_trace_record(args) -> int:
     from repro.core.pipeline import OptimizedLSTM
     from repro.obs import Recorder, write_chrome_trace, write_jsonl
@@ -393,6 +502,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
     "serve-bench": _cmd_serve_bench,
+    "serve-stream": _cmd_serve_stream,
     "trace": _cmd_trace,
 }
 

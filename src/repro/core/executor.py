@@ -217,6 +217,25 @@ def _row_gemv(h: np.ndarray, u_t: np.ndarray) -> np.ndarray:
     return (h[:, None, :] @ u_t)[:, 0]
 
 
+def _row_proj(xs: np.ndarray, w_t: np.ndarray) -> np.ndarray:
+    """Sequence-length-invariant input projection ``xs @ w_t``.
+
+    Lifts ``(..., E) @ (E, N)`` to ``(..., 1, E) @ (E, N)``: numpy
+    dispatches each ``(1, E)`` row as the same BLAS GEMV no matter how
+    many rows the call covers, so a token's projected bits depend only on
+    the token and the weights — never on the sequence length, the chunk
+    boundaries, or the batch around it. The 2-D GEMM the seed used does
+    not have this property: OpenBLAS's M-blocking makes row ``t`` of a
+    ``(T, E) @ (E, N)`` product depend on ``T`` (measured on this
+    platform: 30-70 % of chunked-vs-full products differ in the last
+    bit across shapes, single- and multi-threaded). This is the row-space
+    twin of :func:`_row_gemv`, and it is what lets the streaming runtime
+    (:mod:`repro.runtime.streaming`) deliver a session in arbitrary
+    chunks bit-identically to one contiguous run.
+    """
+    return (xs[..., None, :] @ w_t)[..., 0, :]
+
+
 def _warp_skip_fractions(masks: np.ndarray, warp_size: int = 32) -> np.ndarray:
     """Vectorized fraction of *rows* living in all-trivial warps, per mask.
 
@@ -487,9 +506,10 @@ class LSTMExecutor:
             # logits stay batch-composition-invariant (see _row_gemv).
             logits = self.network.head_logits(top[:, None, :])[:, 0]
         else:
-            # Per-timestep heads are (B, T, H) @ (H, C): numpy already
-            # dispatches one (T, H) GEMM per sequence — batch-invariant.
-            logits = self.network.head_logits(top)
+            # Per-timestep heads take the same per-row lift as the input
+            # projections: a (T, H) GEMM's row bits depend on T, which
+            # would make streamed logits diverge from contiguous runs.
+            logits = self.network.head_logits(top[..., None, :])[..., 0, :]
         plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
         timings = {
             "exec_wall_s": time.perf_counter() - start_wall,
@@ -506,6 +526,83 @@ class LSTMExecutor:
         if record:
             self._record_run(result, batch, seq_len, plan_stats_before, program_stats_before)
         return result
+
+    def run_stream(
+        self,
+        tokens: np.ndarray,
+        h_states: np.ndarray,
+        c_states: np.ndarray,
+    ) -> np.ndarray:
+        """Run one streamed chunk against resident per-session state.
+
+        The single-step / short-chunk entry the streaming runtime
+        (:mod:`repro.runtime.streaming`) drives every tick: each layer
+        replays the same cached :class:`~repro.core.program.
+        StepwiseProgram` as :meth:`run_batch` at shape ``(B, L)``, with the
+        callers' resident ``(h, c)`` injected as the initial state and the
+        post-chunk state written back in place. Because the recurrent
+        products are per-row GEMVs (:func:`_row_gemv`) and the input
+        projections per-row lifts (:func:`_row_proj`), a session's bits
+        are identical whether its sequence arrives as one contiguous run
+        or as any partition into chunks under any batch composition —
+        the bit-identity contract the streaming tests assert against the
+        frozen reference.
+
+        Structural modes are excluded: INTER / COMBINED plan from the
+        *full* sequence's relevance, which a chunked arrival never has.
+
+        Args:
+            tokens: ``(B, L)`` token chunk, one row per live session.
+            h_states: ``(num_layers, B, H)`` resident hidden state,
+                updated in place to the post-chunk state.
+            c_states: ``(num_layers, B, H)`` resident cell state, updated
+                in place.
+
+        Returns:
+            ``(B, L, H)`` top-layer hidden outputs for the chunk. Head
+            readout (per-timestep or pooled over a trailing window) is the
+            caller's job — the streaming runtime owns the pooled-readout
+            ring buffer.
+        """
+        cfg = self.config
+        if cfg.inter_active:
+            raise ConfigurationError(
+                f"run_stream does not support mode {cfg.mode.value!r}: the inter "
+                "level plans from full-sequence relevance, which chunked "
+                "arrivals never have"
+            )
+        if not self.compile:
+            raise ConfigurationError("run_stream requires compile=True")
+        if cfg.compact_drs_gemm:
+            raise ConfigurationError(
+                "run_stream does not support compact_drs_gemm (interpreted loop only)"
+            )
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ShapeError(f"tokens must be (B, L), got shape {tokens.shape}")
+        batch, chunk = tokens.shape
+        n_layers = len(self._weights)
+        hidden = self.network.config.hidden_size
+        expected = (n_layers, batch, hidden)
+        if h_states.shape != expected or c_states.shape != expected:
+            raise ShapeError(
+                f"resident states must be {expected}, got "
+                f"{h_states.shape} / {c_states.shape}"
+            )
+        drs = cfg.intra_active and cfg.alpha_intra > 0.0
+        xs = self.network.embedding[tokens]  # (B, L, E)
+        for layer_index, united in enumerate(self._united):
+            program = self._compiled_stepwise(layer_index, united, batch, chunk, drs)
+            program.project(xs)
+            hs = np.empty((batch, chunk, hidden))
+            program.execute(
+                hs,
+                h0=h_states[layer_index],
+                c0=c_states[layer_index],
+                state_out=(h_states[layer_index], c_states[layer_index]),
+            )
+            xs = hs
+        return xs
 
     def _record_run(
         self,
@@ -568,7 +665,7 @@ class LSTMExecutor:
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
         united = self._united[layer_index]
         if self.config.mode is ExecutionMode.COMBINED:
-            proj_u = xs @ united.w.T  # (B, T, 4H) — one fused input GEMM
+            proj_u = _row_proj(xs, united.w.T)  # (B, T, 4H) fused, per-row dispatch
             proj = {g: proj_u[..., united.slices[g]] for g in GATE_ORDER}
             plans = self._plan_inter(layer_index, weights, proj, xs)
             return self._run_layer_combined(layer_index, weights, united, proj_u, plans)
@@ -675,10 +772,10 @@ class LSTMExecutor:
         w_i, u_i, b_i = ops["i"]
         w_c, u_c, b_c = ops["c"]
         w_o, u_o, b_o = ops["o"]
-        proj_f = xs @ w_f.T  # (B, T, H) per gate, contiguous
-        proj_i = xs @ w_i.T
-        proj_c = xs @ w_c.T
-        proj_o = xs @ w_o.T
+        proj_f = _row_proj(xs, w_f.T)  # (B, T, H) per gate, per-row dispatch
+        proj_i = _row_proj(xs, w_i.T)
+        proj_c = _row_proj(xs, w_c.T)
+        proj_o = _row_proj(xs, w_o.T)
 
         break_mask = np.zeros((batch, seq_len), dtype=bool)
         plans: list[CachedLayerPlan] | None = None
@@ -864,10 +961,10 @@ class LSTMExecutor:
         w_i, u_i, b_i = ops["i"]
         w_c, u_c, b_c = ops["c"]
         w_o, u_o, b_o = ops["o"]
-        proj_f = xs @ w_f.T  # (B, T, H) per gate, contiguous
-        proj_i = xs @ w_i.T
-        proj_c = xs @ w_c.T
-        proj_o = xs @ w_o.T
+        proj_f = _row_proj(xs, w_f.T)  # (B, T, H) per gate, per-row dispatch
+        proj_i = _row_proj(xs, w_i.T)
+        proj_c = _row_proj(xs, w_c.T)
+        proj_o = _row_proj(xs, w_o.T)
 
         h = np.zeros((batch, hidden))
         c = np.zeros((batch, hidden))

@@ -46,7 +46,8 @@ the plan signature ``schedule_key``), so repeated runs, threshold sweeps
 over one batch, and fleet shards grouped by the runtime scheduler all
 reuse one compiled program. Workspace lifetime rule: a program owns its
 buffers for as long as it is cached; every run rewrites the full state
-(``h``/``c`` reset on entry, every output cell written), so consecutive
+(``h``/``c`` set on entry — zeros, or caller-injected resident state for
+the streaming runtime — and every output cell written), so consecutive
 runs are bit-identical to fresh executors — property-tested, including
 across mid-sequence breakpoint resets.
 """
@@ -258,11 +259,16 @@ class StepwiseProgram:
     def project(self, xs: np.ndarray) -> dict[str, np.ndarray]:
         """Stage the per-gate input projections; returns planner views.
 
-        ``np.matmul(..., out=)`` into the contiguous per-gate block is the
-        same dispatch as the interpreted ``xs @ w_g.T`` — identical bits.
+        The matmul is lifted to per-row GEMV dispatch exactly like the
+        interpreted :func:`repro.core.executor._row_proj` — each token's
+        projected bits are a pure function of the token and the weights,
+        independent of ``T``, ``B``, or chunk boundaries (the property the
+        streaming runtime's chunked replay relies on). ``out=`` never
+        changes bits relative to the allocating call.
         """
+        xs_rows = xs[:, :, None, :]  # (B, T, 1, E): one GEMV per token
         for idx in range(4):
-            np.matmul(xs, self._w_ops[idx], out=self.proj[idx])
+            np.matmul(xs_rows, self._w_ops[idx], out=self.proj[idx][:, :, None, :])
         return {g: self.proj[idx] for idx, g in enumerate(STACK_ORDER)}
 
     def execute(
@@ -270,6 +276,9 @@ class StepwiseProgram:
         hs: np.ndarray,
         reset_cols: list[np.ndarray | None] | None = None,
         cs: np.ndarray | None = None,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+        state_out: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         """Run the compiled timestep loop.
 
@@ -280,13 +289,29 @@ class StepwiseProgram:
                 (``None`` entries where no sequence resets), or ``None``
                 when the inter level is off.
             cs: Optional ``(B, T, H)`` cell-state output.
+            h0: Optional ``(B, H)`` initial hidden state (zeros when
+                omitted). The streaming runtime injects each session's
+                resident state here; bits are identical to a contiguous
+                run because the loop's first recurrent operand is the
+                same ``(1, H)`` row either way.
+            c0: Optional ``(B, H)`` initial cell state (zeros when
+                omitted).
+            state_out: Optional ``(h_out, c_out)`` pair of ``(B, H)``
+                arrays that receive the post-sequence state for
+                re-injection on the next chunk.
         """
         link = self._link
         alpha = self.drs_alpha
         drs = alpha > 0.0
         h, c, t1 = self.h, self.c, self._t1
-        h[:] = 0.0
-        c[:] = 0.0
+        if h0 is None:
+            h[:] = 0.0
+        else:
+            h[:] = h0
+        if c0 is None:
+            c[:] = 0.0
+        else:
+            c[:] = c0
         # Without resets the loop writes each step's h straight into its
         # output column and reads it back as the next step's operand — a
         # (1, H) slice of hs is contiguous, so the stacked matmul
@@ -361,6 +386,10 @@ class StepwiseProgram:
                 hs[:, t] = h
             if cs is not None:
                 cs[:, t] = c
+        if state_out is not None:
+            out_h, out_c = state_out
+            out_h[:] = hs[:, self.seq_len - 1]
+            out_c[:] = c
 
 
 class _TissueBuffers:

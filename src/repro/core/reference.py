@@ -16,16 +16,30 @@ It exists for two reasons:
 The arithmetic in this module is intentionally frozen: do not "optimize" it.
 Any numerical change here silently weakens the equivalence guarantee.
 
-One disclosed amendment since the seed: the stepwise recurrent products
-and the pooled classifier head are *lifted* to stacked per-row GEMVs
-(:func:`repro.core.executor._row_gemv`). The seed's 2-D ``h @ U_g.T``
-dispatched a GEMM at ``B > 1`` whose low bits drifted from the GEMV a solo
-sequence runs — so the oracle's own batched output depended on how
-sequences were grouped (the latent plan-float inheritance disclosed in
-PR 3). The lift dispatches the identical GEMV per row at every batch size,
-making the oracle equal to its own per-sequence walk — the property the
-equivalence suite asserts bit-exactly, now with no layer>=1 relaxations.
-Solo sequences (``B == 1``) are bit-identical to the seed arithmetic.
+Two disclosed amendments since the seed, both of the same species — the
+oracle's bits must not depend on how a workload happens to be delivered:
+
+1. The stepwise recurrent products and the pooled classifier head are
+   *lifted* to stacked per-row GEMVs (:func:`repro.core.executor.
+   _row_gemv`). The seed's 2-D ``h @ U_g.T`` dispatched a GEMM at
+   ``B > 1`` whose low bits drifted from the GEMV a solo sequence runs —
+   so the oracle's own batched output depended on how sequences were
+   grouped (the latent plan-float inheritance disclosed in PR 3). The
+   lift dispatches the identical GEMV per row at every batch size,
+   making the oracle equal to its own per-sequence walk.
+2. The input projections and the per-timestep head are lifted the same
+   way (:func:`repro.core.executor._row_proj`). The seed's
+   ``(T, E) @ (E, H)`` GEMM made row ``t``'s bits depend on ``T``
+   through OpenBLAS's M-blocking (measured: 30-70 % of chunked-vs-full
+   products differ in the last bit), so the oracle's per-timestep bits
+   depended on the sequence *length* — the same prefix of tokens scored
+   differently in a length-10 and a length-12 session. The lift makes
+   each timestep's projection a pure function of its token, which is
+   what lets the streaming runtime replay a session in arbitrary chunks
+   and still match this oracle bit for bit (PR 6).
+
+Solo sequences (``B == 1``) are otherwise bit-identical to the seed
+arithmetic.
 """
 
 from __future__ import annotations
@@ -39,6 +53,7 @@ from repro.core.executor import (
     ExecutionMode,
     ExecutionResult,
     _row_gemv,
+    _row_proj,
     _warp_skip_fractions,
 )
 from repro.core.plan import LayerPlanRecord, SequencePlan, TissueRecord
@@ -121,7 +136,8 @@ class ReferenceExecutor:
             # (see the module docstring's disclosed amendment).
             logits = self.network.head_logits(top[:, None, :])[:, 0]
         else:
-            logits = self.network.head_logits(top)
+            # Per-timestep heads take the same per-row lift (amendment 2).
+            logits = self.network.head_logits(top[..., None, :])[..., 0, :]
         plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
         return ExecutionResult(
             logits=logits,
@@ -151,7 +167,9 @@ class ReferenceExecutor:
     def _run_layer(
         self, layer_index: int, weights: LSTMCellWeights, xs: np.ndarray
     ) -> tuple[np.ndarray, list[LayerPlanRecord]]:
-        proj = {g: xs @ weights.gate_w(g).T for g in GATE_ORDER}  # (B, T, H)
+        # Per-row GEMV lift (disclosed amendment 2): each timestep's
+        # projection is a pure function of its token, never of T.
+        proj = {g: _row_proj(xs, weights.gate_w(g).T) for g in GATE_ORDER}  # (B, T, H)
         if self.config.mode is ExecutionMode.COMBINED:
             return self._run_layer_combined(layer_index, weights, proj)
         return self._run_layer_stepwise(layer_index, weights, proj)

@@ -16,19 +16,30 @@ from repro.obs.record import RunRecord
 
 
 def merge_run_records(
-    records: list[RunRecord], label: str = "fleet", reindex: bool = False
+    records: list[RunRecord],
+    label: str = "fleet",
+    reindex: bool = False,
+    allow_varying_seq_length: bool = False,
 ) -> RunRecord:
     """Merge shard records into one run record.
 
     Args:
-        records: One record per shard. ``mode``/``spec``/``seq_length``/
-            ``config`` must agree across shards (they describe the same
-            deployment); the merged record inherits them.
+        records: One record per shard. ``mode``/``spec``/``config`` must
+            agree across shards (they describe the same deployment); the
+            merged record inherits them. ``seq_length`` must also agree
+            unless ``allow_varying_seq_length`` is set.
         label: Label of the merged record.
         reindex: Renumber sequence observations (and their kernel events)
             consecutively in the given record order. Leave ``False`` when
             the producers already stamped original batch positions, as
             the runtime workers do.
+        allow_varying_seq_length: Permit shards with differing
+            ``seq_length`` — the streaming runtime's per-tick records
+            carry each tick's chunk length there, and one serving window
+            merges ticks of many chunk lengths. The merged record takes
+            the maximum. Timing keys still sum key-wise, which is what
+            gives the merged record its total ``queue_wait_s``
+            attribution.
 
     Returns:
         The merged record, with sequences sorted by ``seq_index``.
@@ -36,8 +47,11 @@ def merge_run_records(
     if not records:
         raise ConfigurationError("cannot merge an empty list of run records")
     first = records[0]
+    shared_attrs = ("mode", "spec") if allow_varying_seq_length else (
+        "mode", "spec", "seq_length"
+    )
     for other in records[1:]:
-        for attr in ("mode", "spec", "seq_length"):
+        for attr in shared_attrs:
             if getattr(other, attr) != getattr(first, attr):
                 raise ConfigurationError(
                     f"cannot merge run records with differing {attr}: "
@@ -80,7 +94,11 @@ def merge_run_records(
         mode=first.mode,
         spec=first.spec,
         batch=sum(record.batch for record in records),
-        seq_length=first.seq_length,
+        seq_length=(
+            max(record.seq_length for record in records)
+            if allow_varying_seq_length
+            else first.seq_length
+        ),
         config=dict(first.config),
         timing=timing,
         simulated=simulated,

@@ -13,20 +13,49 @@ backpressure; per-worker run records merge into a single fleet record
 (:func:`repro.obs.merge.merge_run_records`); ``workers=0`` degenerates
 to a bit-identical synchronous :class:`~repro.core.executor.LSTMExecutor`
 call.
+
+For interactive workloads, :mod:`repro.runtime.streaming` adds the
+online shape: per-session resident ``(h, c)`` state, a tick-driven
+continuous batcher over the compiled program path, LRU/TTL session
+eviction, and an asyncio front door; :mod:`repro.runtime.loadgen`
+generates the deterministic open-loop workloads (Poisson arrivals,
+diurnal ramp, heavy-tailed session lengths) that measure it.
 """
 
 from repro.runtime.arena import ArenaManifest, WeightArena, leaked_segments
+from repro.runtime.loadgen import Arrival, LoadReport, LoadSpec, generate_arrivals, run_open_loop
 from repro.runtime.pool import InferenceRuntime
 from repro.runtime.results import FleetResult, ShardResult
 from repro.runtime.scheduler import DispatchGroup, FleetScheduler
+from repro.runtime.streaming import (
+    SessionTable,
+    StreamingFrontDoor,
+    StreamingServer,
+    StreamingStats,
+    StreamResult,
+    StreamTicket,
+    TickReport,
+)
 
 __all__ = [
     "ArenaManifest",
+    "Arrival",
     "DispatchGroup",
     "FleetResult",
     "FleetScheduler",
     "InferenceRuntime",
+    "LoadReport",
+    "LoadSpec",
+    "SessionTable",
     "ShardResult",
+    "StreamResult",
+    "StreamTicket",
+    "StreamingFrontDoor",
+    "StreamingServer",
+    "StreamingStats",
+    "TickReport",
     "WeightArena",
+    "generate_arrivals",
+    "run_open_loop",
     "leaked_segments",
 ]

@@ -1,0 +1,259 @@
+"""Open-loop load generation for the streaming runtime.
+
+Serving latency is a property of the *arrival process*, not just of the
+kernel: an open-loop generator keeps submitting on its own schedule
+whether or not the server keeps up, which is what exposes queueing delay
+and overload shedding (a closed loop self-throttles and hides both).
+This module builds deterministic open-loop workloads with the three
+shapes real session traffic has:
+
+* **Poisson arrivals** — session starts are a Poisson process, sampled by
+  thinning so the rate may vary over the window;
+* **diurnal ramp** — a sinusoidal rate modulation (peak-to-trough set by
+  ``diurnal_amplitude``) standing in for time-of-day swings;
+* **heavy-tailed session lengths** — bounded Pareto: most sessions are a
+  few steps, a few are very long, matching interactive traces.
+
+Everything derives from ``seed`` — the same spec replays the same
+arrival times, session ids, lengths, and tokens.
+
+The driver (:func:`run_open_loop`) advances a *virtual* clock: arrivals
+land at their scheduled virtual times, while each tick's service time is
+the measured wall clock of the batched step (or an injected model, for
+deterministic tests). Queueing physics are preserved — when offered load
+exceeds capacity the virtual clock falls behind the arrival schedule,
+queues grow, latency climbs, and the admission bound sheds — without the
+bench ever sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import BackpressureError, ConfigurationError
+from repro.runtime.streaming import StreamingServer
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One deterministic open-loop workload.
+
+    Attributes:
+        duration_s: Arrival window (virtual seconds).
+        session_rate: Mean session starts per second (the Poisson base
+            rate before the diurnal modulation).
+        seed: Seeds arrivals, session lengths, and token contents.
+        chunk_len: Tokens per submission (each session submits its
+            sequence in consecutive chunks of this size).
+        think_time_s: Virtual gap between one session's consecutive
+            submissions.
+        diurnal_amplitude: Relative rate swing in ``[0, 1)``:
+            ``rate(t) = session_rate * (1 + A * sin(2*pi*t/period))``.
+        diurnal_period_s: Period of the modulation.
+        session_len_min / session_len_max: Bounds of the session-length
+            distribution (total tokens per session).
+        session_len_alpha: Pareto tail index; smaller means heavier tail.
+    """
+
+    duration_s: float = 10.0
+    session_rate: float = 20.0
+    seed: int = 0
+    chunk_len: int = 4
+    think_time_s: float = 0.05
+    diurnal_amplitude: float = 0.5
+    diurnal_period_s: float = 8.0
+    session_len_min: int = 4
+    session_len_max: int = 64
+    session_len_alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.session_rate <= 0:
+            raise ConfigurationError("duration_s and session_rate must be positive")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ConfigurationError("diurnal_amplitude must be in [0, 1)")
+        if self.session_len_min < 1 or self.session_len_max < self.session_len_min:
+            raise ConfigurationError("need 1 <= session_len_min <= session_len_max")
+        if self.chunk_len < 1 or self.think_time_s < 0:
+            raise ConfigurationError("chunk_len >= 1 and think_time_s >= 0 required")
+        if self.session_len_alpha <= 0:
+            raise ConfigurationError("session_len_alpha must be positive")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission: a token chunk for one session."""
+
+    time_s: float
+    session_id: str
+    tokens: np.ndarray
+
+
+def _bounded_pareto(rng: np.random.Generator, spec: LoadSpec) -> int:
+    """Heavy-tailed session length in ``[len_min, len_max]`` (inclusive)."""
+    lo, hi, alpha = spec.session_len_min, spec.session_len_max, spec.session_len_alpha
+    u = rng.random()
+    # Inverse CDF of the Pareto truncated to [lo, hi].
+    ratio = (lo / hi) ** alpha
+    length = lo / (1.0 - u * (1.0 - ratio)) ** (1.0 / alpha)
+    return int(min(hi, max(lo, math.floor(length))))
+
+
+def generate_arrivals(spec: LoadSpec, vocab_size: int) -> list[Arrival]:
+    """Materialize the workload's full submission timeline.
+
+    Session starts are Poisson-by-thinning against the diurnal rate
+    envelope; each session's length is bounded-Pareto and its tokens are
+    uniform over the vocabulary, split into ``chunk_len`` submissions
+    spaced ``think_time_s`` apart. Returns arrivals sorted by time.
+    """
+    if vocab_size <= 1:
+        raise ConfigurationError(f"vocab_size must exceed 1, got {vocab_size}")
+    rng = np.random.default_rng(spec.seed)
+    peak_rate = spec.session_rate * (1.0 + spec.diurnal_amplitude)
+    arrivals: list[Arrival] = []
+    t = 0.0
+    session_index = 0
+    while True:
+        t += rng.exponential(1.0 / peak_rate)
+        if t >= spec.duration_s:
+            break
+        rate_t = spec.session_rate * (
+            1.0
+            + spec.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t / spec.diurnal_period_s)
+        )
+        if rng.random() * peak_rate > rate_t:
+            continue  # thinned out
+        length = _bounded_pareto(rng, spec)
+        tokens = rng.integers(0, vocab_size, size=length)
+        sid = f"s{session_index:05d}"
+        session_index += 1
+        for k, start in enumerate(range(0, length, spec.chunk_len)):
+            arrivals.append(
+                Arrival(
+                    time_s=t + k * spec.think_time_s,
+                    session_id=sid,
+                    tokens=tokens[start : start + spec.chunk_len],
+                )
+            )
+    arrivals.sort(key=lambda a: (a.time_s, a.session_id))
+    return arrivals
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run."""
+
+    offered_submissions: int = 0
+    completed_submissions: int = 0
+    shed_submissions: int = 0
+    offered_tokens: int = 0
+    completed_tokens: int = 0
+    duration_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        """Tokens of *completed* submissions per virtual second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed_tokens / self.duration_s
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered submissions shed at admission."""
+        if self.offered_submissions == 0:
+            return 0.0
+        return self.shed_submissions / self.offered_submissions
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in seconds (``q`` in [0, 100])."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary for bench reports."""
+        return {
+            "offered_submissions": self.offered_submissions,
+            "completed_submissions": self.completed_submissions,
+            "shed_submissions": self.shed_submissions,
+            "shed_fraction": self.shed_fraction,
+            "offered_tokens": self.offered_tokens,
+            "completed_tokens": self.completed_tokens,
+            "duration_s": self.duration_s,
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "latency_p50_s": self.percentile(50.0),
+            "latency_p99_s": self.percentile(99.0),
+            "latency_p999_s": self.percentile(99.9),
+            "latency_mean_s": (
+                float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+            ),
+            "latency_max_s": (
+                float(np.max(self.latencies_s)) if self.latencies_s else 0.0
+            ),
+        }
+
+
+def run_open_loop(
+    server: StreamingServer,
+    arrivals: list[Arrival],
+    tick_interval_s: float = 0.002,
+    service_time: Callable[[float], float] | None = None,
+) -> LoadReport:
+    """Drive a server through an arrival timeline on virtual time.
+
+    Ticks fire every ``tick_interval_s`` of virtual time, arrivals are
+    submitted at their scheduled times, and each tick advances the clock
+    by its *measured* execution wall (or ``service_time(measured)`` when
+    a model is injected — tests pass a constant to make overload
+    deterministic). A submission's latency is admission to the end of the
+    tick that served its last chunk.
+
+    Returns the :class:`LoadReport`; occupancy/shed counters accumulate
+    on ``server.stats``.
+    """
+    if tick_interval_s <= 0:
+        raise ConfigurationError(
+            f"tick_interval_s must be positive, got {tick_interval_s}"
+        )
+    report = LoadReport()
+    now = 0.0
+    next_tick = tick_interval_s
+    idx = 0
+    n = len(arrivals)
+
+    def fire_tick(at: float) -> float:
+        tick_report = server.tick(now=at)
+        cost = tick_report.exec_wall_s
+        if service_time is not None:
+            cost = service_time(cost)
+        end = at + cost
+        for result in tick_report.completed:
+            report.completed_submissions += 1
+            report.completed_tokens += result.n_tokens
+            report.latencies_s.append(end - result.submitted_at)
+        return end
+
+    while idx < n or server.queue_depth > 0:
+        if idx < n and arrivals[idx].time_s <= next_tick:
+            arrival = arrivals[idx]
+            idx += 1
+            now = max(now, arrival.time_s)
+            report.offered_submissions += 1
+            report.offered_tokens += int(arrival.tokens.shape[0])
+            try:
+                server.submit(arrival.session_id, arrival.tokens, now=now)
+            except BackpressureError:
+                report.shed_submissions += 1
+            continue
+        now = max(now, next_tick)
+        now = fire_tick(now)
+        next_tick = max(next_tick + tick_interval_s, now)
+
+    report.duration_s = now
+    return report

@@ -20,8 +20,8 @@ The signature deliberately uses only **layer 0**: its relevance depends
 on nothing but the embedded tokens and the layer weights, so it is
 computable in the scheduling parent without running any recurrence. The
 per-gate projections are taken exactly as the executor takes them
-(``xs @ W_g^T`` row by row — numpy stacks the 3-D matmul per sequence,
-so the 2-D per-row product is bit-identical), and the cache keys match
+(per-row GEMV dispatch via :func:`repro.core.executor._row_proj`, so the
+bits match the executor's at any length or batching), and the cache keys match
 :meth:`repro.core.executor.LSTMExecutor._plan_inter`'s, so a shared
 :class:`~repro.core.plan.PlanCache` means the relevance pass is paid
 once between scheduling and (synchronous) execution.
@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.breakpoints import divide_layer, find_breakpoints
-from repro.core.executor import ExecutionConfig
+from repro.core.executor import ExecutionConfig, _row_proj
 from repro.core.plan import PlanCache, fingerprint_array, fingerprint_weights
 from repro.core.relevance import (
     exact_relevance_values,
@@ -113,7 +113,7 @@ class FleetScheduler:
         xs = self.network.embed(tokens_row)  # (T, E)
 
         def compute() -> np.ndarray:
-            proj = {g: xs @ self._weights.gate_w(g).T for g in GATE_ORDER}
+            proj = {g: _row_proj(xs, self._weights.gate_w(g).T) for g in GATE_ORDER}
             fn = exact_relevance_values if cfg.use_exact_relevance else relevance_values
             return fn(self._weights, proj, row_ranges=self._row_ranges)
 

@@ -253,6 +253,60 @@ class TestWorkspaceReuse:
             assert np.array_equal(h_a, h_b)
 
 
+class TestStepwiseStateInjection:
+    """Streamed state entry/exit on the same cached programs.
+
+    ``run_stream`` replays the stepwise programs with the caller's
+    resident ``(h, c)`` injected at entry and the post-chunk state
+    extracted at exit; any partition of a sequence into chunks must be
+    bit-identical to one contiguous ``run_batch`` — outputs *and* final
+    states — and must leave the shared program objects clean for the
+    next zero-state run.
+    """
+
+    @pytest.mark.parametrize("splits", [[10], [4, 6], [1, 1, 8], [3, 3, 3, 1]])
+    def test_chunked_run_stream_equals_contiguous_run_batch(self, splits):
+        network, tokens, _ = make_case(seed=71)
+        config = ExecutionConfig(mode=ExecutionMode.BASELINE)
+        executor = LSTMExecutor(network, config, compile=True)
+        full = executor.run_batch(tokens, collect_states=True)
+
+        batch = tokens.shape[0]
+        layers = network.num_layers
+        hidden = network.config.hidden_size
+        h = np.zeros((layers, batch, hidden))
+        c = np.zeros((layers, batch, hidden))
+        parts, start = [], 0
+        for width in splits:
+            parts.append(executor.run_stream(tokens[:, start : start + width], h, c))
+            start += width
+        assert np.array_equal(
+            np.concatenate(parts, axis=1), full.layer_outputs[-1]
+        )
+        for i in range(layers):
+            assert np.array_equal(h[i], full.layer_outputs[i][:, -1])
+            assert np.array_equal(c[i], full.layer_states[i][:, -1])
+
+    def test_injected_state_does_not_leak_into_zero_state_runs(self):
+        """A streamed step must not contaminate the cached programs."""
+        network, tokens, _ = make_case(seed=23)
+        config = ExecutionConfig(mode=ExecutionMode.INTRA, alpha_intra=0.4)
+        executor = LSTMExecutor(network, config, compile=True)
+        before = executor.run_batch(tokens)
+
+        rng = np.random.default_rng(24)
+        batch = tokens.shape[0]
+        shape = (network.num_layers, batch, network.config.hidden_size)
+        executor.run_stream(
+            tokens, np.tanh(rng.normal(size=shape)), rng.normal(size=shape)
+        )
+
+        after = executor.run_batch(tokens)  # same cached programs, h0=None path
+        assert np.array_equal(before.logits, after.logits)
+        for h_a, h_b in zip(before.layer_outputs, after.layer_outputs):
+            assert np.array_equal(h_a, h_b)
+
+
 class TestAllocationRegression:
     """Satellite: warm compiled runs allocate nothing inside program.py."""
 

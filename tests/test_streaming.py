@@ -1,0 +1,459 @@
+"""Streaming serving: bit-identity, session lifecycle, backpressure, records.
+
+The contracts of :mod:`repro.runtime.streaming`:
+
+* **Bit-identity.** A session served in any chunking under any batch
+  composition equals the frozen
+  :class:`~repro.core.reference.ReferenceExecutor` running the full
+  sequence contiguously — per-timestep and pooled heads, every
+  streamable mode.
+
+* **Session lifecycle.** Resident state survives between arrivals; LRU
+  capacity eviction and TTL idle-sweep drop only idle sessions, a
+  returning evicted session restarts from zeroed state, and busy
+  sessions are pinned (a full table of them sheds instead).
+
+* **Deterministic backpressure.** Admission beyond the queue bound sheds
+  all-or-nothing with :class:`~repro.errors.BackpressureError`; the same
+  submit/tick history always sheds the same requests.
+
+* **Observability.** Tick records and the merged serving-window record
+  are schema-valid ``repro.obs/run/v1`` documents carrying the
+  ``queue_wait_s`` / ``ticks`` timing keys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.config import LSTMConfig
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.core.reference import ReferenceExecutor
+from repro.errors import BackpressureError, ConfigurationError, ShapeError
+from repro.nn.network import LSTMNetwork
+from repro.obs.recorder import Recorder
+from repro.obs.schema import validate_run_dict
+from repro.runtime import (
+    LoadSpec,
+    StreamingFrontDoor,
+    StreamingServer,
+    generate_arrivals,
+    run_open_loop,
+)
+
+VOCAB = 29
+CLASSES = 3
+HIDDEN = 12
+LAYERS = 2
+HEAD_POOL = 3
+
+STREAM_MODES = {
+    "baseline": {"mode": ExecutionMode.BASELINE},
+    "intra": {"mode": ExecutionMode.INTRA, "alpha_intra": 0.4},
+    "zero_prune": {"mode": ExecutionMode.ZERO_PRUNE},
+}
+
+
+def make_network(per_timestep_head: bool, seed: int = 5) -> LSTMNetwork:
+    config = LSTMConfig(
+        hidden_size=HIDDEN, num_layers=LAYERS, seq_length=16, input_size=HIDDEN
+    )
+    return LSTMNetwork(
+        config,
+        vocab_size=VOCAB,
+        num_classes=CLASSES,
+        seed=seed,
+        per_timestep_head=per_timestep_head,
+        head_pool=1 if per_timestep_head else HEAD_POOL,
+    )
+
+
+def make_server(network: LSTMNetwork, mode: str = "baseline", **kwargs) -> StreamingServer:
+    defaults = dict(
+        max_batch=4,
+        chunk_len=4,
+        queue_limit=1000,
+        max_sessions=32,
+        session_ttl_s=1e9,
+        clock=lambda: 0.0,
+    )
+    defaults.update(kwargs)
+    return StreamingServer(network, ExecutionConfig(**STREAM_MODES[mode]), **defaults)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# --------------------------------------------------------------- bit-identity
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("mode", sorted(STREAM_MODES))
+    @pytest.mark.parametrize("per_ts", [True, False], ids=["per-timestep", "pooled"])
+    def test_random_chunking_matches_contiguous_reference(self, mode, per_ts):
+        """Any chunking, any batch mix == the full-sequence frozen oracle."""
+        network = make_network(per_timestep_head=per_ts)
+        config = ExecutionConfig(**STREAM_MODES[mode])
+        reference = ReferenceExecutor(network, config)
+        rng = np.random.default_rng(17)
+        # Length 2 < head_pool exercises the partially-filled pooled window.
+        sessions = {
+            f"s{i}": rng.integers(0, VOCAB, size=length)
+            for i, length in enumerate([2, 5, 9, 16, 13])
+        }
+        server = make_server(network, mode)
+        tickets = {sid: [] for sid in sessions}
+        cursor = dict.fromkeys(sessions, 0)
+        live = sorted(sessions)
+        while live:
+            sid = live[int(rng.integers(len(live)))]
+            tokens = sessions[sid]
+            take = min(int(rng.integers(1, 5)), len(tokens) - cursor[sid])
+            tickets[sid].append(
+                server.submit(sid, tokens[cursor[sid] : cursor[sid] + take], now=0.0)
+            )
+            cursor[sid] += take
+            if cursor[sid] == len(tokens):
+                live.remove(sid)
+            if rng.random() < 0.5:
+                server.tick(now=0.0)
+        server.drain(now=0.0)
+
+        for sid, tokens in sessions.items():
+            expected = reference.run_batch(tokens[None]).logits[0]
+            if per_ts:
+                streamed = np.concatenate(
+                    [t.result.logits for t in tickets[sid]], axis=0
+                )
+            else:
+                streamed = tickets[sid][-1].result.logits
+            assert np.array_equal(streamed, expected), sid
+
+    def test_single_step_submissions_match_reference(self):
+        """The pure online shape: one token per submission, every tick."""
+        network = make_network(per_timestep_head=True)
+        config = ExecutionConfig(**STREAM_MODES["intra"])
+        reference = ReferenceExecutor(network, config)
+        rng = np.random.default_rng(3)
+        tokens = rng.integers(0, VOCAB, size=10)
+        server = make_server(network, "intra", chunk_len=1)
+        logits = []
+        for token in tokens:
+            ticket = server.submit("s", np.array([token]), now=0.0)
+            server.tick(now=0.0)
+            logits.append(ticket.result.logits)
+        streamed = np.concatenate(logits, axis=0)
+        assert np.array_equal(streamed, reference.run_batch(tokens[None]).logits[0])
+
+
+# ----------------------------------------------------------- session lifecycle
+
+
+class TestSessionLifecycle:
+    def test_lru_eviction_and_fresh_readmission(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(9)
+        tokens = rng.integers(0, VOCAB, size=4)
+        clock = FakeClock()
+        server = make_server(network, max_sessions=2, clock=clock)
+
+        first = server.submit("a", tokens)
+        server.tick()
+        clock.now = 1.0
+        server.submit("b", tokens)
+        server.tick()
+        clock.now = 2.0
+        server.submit("c", tokens)  # table full -> evicts idle LRU "a"
+        server.tick()
+        assert "a" not in server.sessions
+        assert "b" in server.sessions and "c" in server.sessions
+        assert server.sessions.lru_evictions == 1
+
+        clock.now = 3.0
+        again = server.submit("a", tokens)  # re-admitted from zeroed state
+        server.tick()
+        assert np.array_equal(again.result.logits, first.result.logits)
+
+    def test_resident_state_survives_between_arrivals(self):
+        """The second arrival continues the first one's state, not zeros."""
+        network = make_network(per_timestep_head=True)
+        config = ExecutionConfig(**STREAM_MODES["baseline"])
+        rng = np.random.default_rng(29)
+        tokens = rng.integers(0, VOCAB, size=8)
+        server = make_server(network)
+        server.submit("s", tokens[:4], now=0.0)
+        server.tick(now=0.0)
+        second = server.submit("s", tokens[4:], now=0.0)
+        server.tick(now=0.0)
+        full = ReferenceExecutor(network, config).run_batch(tokens[None]).logits[0]
+        assert np.array_equal(second.result.logits, full[4:])
+        assert not np.array_equal(
+            second.result.logits,
+            ReferenceExecutor(network, config).run_batch(tokens[4:][None]).logits[0],
+        )
+
+    def test_ttl_sweep_evicts_idle_sessions(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(9)
+        clock = FakeClock()
+        server = make_server(network, session_ttl_s=10.0, clock=clock)
+        server.submit("idle", rng.integers(0, VOCAB, size=2))
+        server.tick()
+        assert "idle" in server.sessions
+        clock.now = 11.0
+        report = server.tick()  # empty queue still sweeps
+        assert report.ttl_evictions == 1
+        assert "idle" not in server.sessions
+        assert server.stats.ttl_evictions == 1
+
+    def test_busy_sessions_are_pinned(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(9)
+        server = make_server(network, max_sessions=1)
+        server.submit("busy", rng.integers(0, VOCAB, size=4), now=0.0)
+        with pytest.raises(BackpressureError):
+            server.submit("other", rng.integers(0, VOCAB, size=4), now=0.0)
+        server.tick(now=0.0)  # "busy" drains and unpins
+        server.submit("other", rng.integers(0, VOCAB, size=4), now=0.0)
+
+
+# --------------------------------------------------------------- backpressure
+
+
+class TestBackpressure:
+    def test_queue_bound_sheds_deterministically(self):
+        def history(server):
+            rng = np.random.default_rng(4)
+            shed = []
+            for i in range(8):
+                try:
+                    server.submit(f"s{i}", rng.integers(0, VOCAB, size=4), now=0.0)
+                except BackpressureError:
+                    shed.append(i)
+            return shed
+
+        network = make_network(per_timestep_head=True)
+        first = history(make_server(network, queue_limit=3))
+        second = history(make_server(network, queue_limit=3))
+        assert first == second == [3, 4, 5, 6, 7]
+
+    def test_shedding_is_all_or_nothing(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(4)
+        server = make_server(network, chunk_len=1, queue_limit=3)
+        with pytest.raises(BackpressureError):
+            server.submit("s", rng.integers(0, VOCAB, size=4), now=0.0)  # needs 4
+        assert server.queue_depth == 0  # nothing partially enqueued
+        assert server.stats.shed_chunks == 4
+        server.submit("s", rng.integers(0, VOCAB, size=3), now=0.0)  # fits
+        assert server.queue_depth == 3
+
+
+# ------------------------------------------------------------- tick batching
+
+
+class TestTickBatching:
+    def test_head_chunk_sets_length_and_sessions_serialize(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(6)
+        server = make_server(network, max_batch=8)
+        server.submit("a", rng.integers(0, VOCAB, size=8), now=0.0)  # 2 chunks
+        server.submit("b", rng.integers(0, VOCAB, size=4), now=0.0)
+        server.submit("c", rng.integers(0, VOCAB, size=2), now=0.0)  # shorter
+        first = server.tick(now=0.0)
+        # Head chunk (a's first, length 4) sets the tick length: a and b
+        # batch, c's length-2 chunk and a's second chunk wait.
+        assert (first.batch, first.chunk_len) == (2, 4)
+        second = server.tick(now=0.0)
+        assert (second.batch, second.chunk_len) == (1, 4)  # a's second chunk
+        third = server.tick(now=0.0)
+        assert (third.batch, third.chunk_len) == (1, 2)  # c
+        assert server.queue_depth == 0
+        assert server.stats.max_occupancy == 2
+
+    def test_queue_wait_attribution(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(6)
+        server = make_server(network)
+        server.submit("a", rng.integers(0, VOCAB, size=4), now=1.0)
+        server.submit("b", rng.integers(0, VOCAB, size=4), now=2.0)
+        report = server.tick(now=5.0)
+        assert report.queue_wait_s == pytest.approx((5.0 - 1.0) + (5.0 - 2.0))
+
+
+# -------------------------------------------------------------------- records
+
+
+class TestRecords:
+    def test_tick_and_merged_records_are_schema_valid(self):
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(8)
+        recorder = Recorder()
+        server = make_server(network, recorder=recorder)
+        for i in range(3):
+            server.submit(f"s{i}", rng.integers(0, VOCAB, size=4), now=0.0)
+        server.tick(now=0.0)
+        server.drain(now=0.0)
+
+        for record in recorder.records:
+            data = record.to_dict()
+            validate_run_dict(data)
+            assert data["label"] == "stream-tick"
+            assert data["timing"]["ticks"] == 1.0
+
+        merged = server.merged_record()
+        data = merged.to_dict()
+        validate_run_dict(data)
+        assert data["label"] == "stream"
+        assert data["batch"] == 3
+        assert data["timing"]["ticks"] == float(len(recorder.records))
+        assert "queue_wait_s" in data["timing"]
+
+    def test_merged_record_none_without_recorder(self):
+        network = make_network(per_timestep_head=True)
+        server = make_server(network)
+        server.submit("s", np.arange(4) % VOCAB, now=0.0)
+        server.tick(now=0.0)
+        assert server.merged_record() is None
+
+
+# ----------------------------------------------------------------- rejections
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": ExecutionMode.INTER, "alpha_inter": 50.0, "mts": 3},
+            {
+                "mode": ExecutionMode.COMBINED,
+                "alpha_inter": 50.0,
+                "alpha_intra": 0.4,
+                "mts": 3,
+            },
+        ],
+        ids=["inter", "combined"],
+    )
+    def test_inter_modes_rejected_at_construction(self, kwargs):
+        network = make_network(per_timestep_head=True)
+        with pytest.raises(ConfigurationError, match="full-sequence relevance"):
+            StreamingServer(network, ExecutionConfig(**kwargs))
+
+    def test_compact_drs_gemm_rejected(self):
+        network = make_network(per_timestep_head=True)
+        config = ExecutionConfig(
+            mode=ExecutionMode.INTRA, alpha_intra=0.4, compact_drs_gemm=True
+        )
+        with pytest.raises(ConfigurationError, match="compact_drs_gemm"):
+            StreamingServer(network, config)
+
+    def test_submit_rejects_bad_tokens(self):
+        network = make_network(per_timestep_head=True)
+        server = make_server(network)
+        with pytest.raises(ShapeError):
+            server.submit("s", np.zeros((2, 3), dtype=int), now=0.0)
+        with pytest.raises(ShapeError):
+            server.submit("s", np.array([], dtype=int), now=0.0)
+
+    def test_run_stream_rejects_bad_state_shapes(self):
+        network = make_network(per_timestep_head=True)
+        executor = LSTMExecutor(
+            network, ExecutionConfig(**STREAM_MODES["baseline"]), compile=True
+        )
+        tokens = np.zeros((2, 3), dtype=int)
+        good = np.zeros((LAYERS, 2, HIDDEN))
+        with pytest.raises(ShapeError):
+            executor.run_stream(tokens, np.zeros((LAYERS, 2, HIDDEN + 1)), good)
+        with pytest.raises(ShapeError):
+            executor.run_stream(np.zeros(3, dtype=int), good, good)
+
+
+# -------------------------------------------------------------------- loadgen
+
+
+class TestLoadgen:
+    def test_arrivals_deterministic_and_time_ordered(self):
+        spec = LoadSpec(duration_s=2.0, session_rate=15.0, seed=12)
+        first = generate_arrivals(spec, vocab_size=VOCAB)
+        second = generate_arrivals(spec, vocab_size=VOCAB)
+        assert len(first) == len(second) > 0
+        for a, b in zip(first, second):
+            assert (a.time_s, a.session_id) == (b.time_s, b.session_id)
+            assert np.array_equal(a.tokens, b.tokens)
+        times = [a.time_s for a in first]
+        assert times == sorted(times)
+
+    def test_open_loop_overload_sheds_and_replays_identically(self):
+        network = make_network(per_timestep_head=True)
+        spec = LoadSpec(duration_s=1.0, session_rate=40.0, seed=2)
+        arrivals = generate_arrivals(spec, vocab_size=VOCAB)
+
+        def run_once():
+            server = make_server(network, max_batch=2, queue_limit=6)
+            report = run_open_loop(
+                server,
+                arrivals,
+                tick_interval_s=0.002,
+                # Modeled slow ticks make 40 sessions/s an overload.
+                service_time=lambda wall: 0.05 if wall > 0.0 else 0.0,
+            )
+            return report, server.stats
+
+        first, stats_a = run_once()
+        second, stats_b = run_once()
+        assert first.shed_submissions > 0
+        assert first.completed_submissions > 0
+        assert first.as_dict() == second.as_dict()
+        assert stats_a.as_dict(2) == stats_b.as_dict(2)
+        assert (
+            first.completed_submissions + first.shed_submissions
+            == first.offered_submissions
+        )
+
+
+# ------------------------------------------------------------------ asyncio
+
+
+class TestFrontDoor:
+    def test_async_round_trip_matches_reference(self):
+        network = make_network(per_timestep_head=True)
+        config = ExecutionConfig(**STREAM_MODES["baseline"])
+        rng = np.random.default_rng(21)
+        tokens = rng.integers(0, VOCAB, size=6)
+        server = StreamingServer(network, config, chunk_len=4)
+
+        async def go():
+            async with StreamingFrontDoor(server, tick_interval_s=0.001) as door:
+                return await asyncio.gather(
+                    door.request("x", tokens[:3]), door.request("x", tokens[3:])
+                )
+
+        first, second = asyncio.run(go())
+        full = ReferenceExecutor(network, config).run_batch(tokens[None]).logits[0]
+        streamed = np.concatenate([first.logits, second.logits], axis=0)
+        assert np.array_equal(streamed, full)
+        assert second.latency_s >= 0.0
+
+    def test_backpressure_surfaces_to_the_caller(self):
+        network = make_network(per_timestep_head=True)
+        config = ExecutionConfig(**STREAM_MODES["baseline"])
+        server = StreamingServer(network, config, chunk_len=1, queue_limit=2)
+
+        async def go():
+            async with StreamingFrontDoor(server, tick_interval_s=0.001) as door:
+                with pytest.raises(BackpressureError):
+                    # 3 chunks > queue_limit before the loop can drain them:
+                    # submit happens synchronously inside request().
+                    server.submit("y", np.arange(3) % VOCAB)
+                return await door.request("y", np.arange(2) % VOCAB)
+
+        result = asyncio.run(go())
+        assert result.n_tokens == 2
