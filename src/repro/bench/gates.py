@@ -140,5 +140,5 @@ class GateSet:
         for line in self.failures:
             print(line, file=stream)
         if self.passed:
-            print(f"{self.bench} gates passed")
+            print(f"{self.bench} gates passed", file=stream)
         return 0 if self.passed else 1

@@ -27,9 +27,16 @@ import os
 import sys
 
 from repro.config import APP_NAMES
+from repro.core.backends import BACKEND_NAMES
 from repro.core.executor import ExecutionMode
 from repro.errors import ConfigurationError, ReproError
 from repro.nn.quantize import PRECISIONS
+
+#: Shared help text for the ``--backend`` flag.
+_BACKEND_HELP = (
+    "compiled-program lowering: 'numpy' is the bit-exact oracle, 'fused' "
+    "picks the fastest available fused kernel backend (cgen, then numba)"
+)
 
 #: Figure names accepted by ``repro figure``.
 FIGURES = (
@@ -75,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*PRECISIONS],
         default="fp64",
         help="weight-storage policy (int8/fp16 quantize W/U, fp64 is exact)",
+    )
+    run.add_argument(
+        "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
     )
 
     sweep = sub.add_parser("sweep", help="threshold sweep for one application")
@@ -127,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="weight-storage policy served by the fleet (arena publishes "
         "quantized payloads)",
     )
+    serve.add_argument(
+        "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
+    )
 
     stream = sub.add_parser(
         "serve-stream",
@@ -160,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--record", default=None,
         help="write the merged serving-window RunRecord to this JSONL path",
+    )
+    stream.add_argument(
+        "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
     )
 
     trace = sub.add_parser(
@@ -242,7 +258,7 @@ def _cmd_run(args) -> int:
     if mode not in (ExecutionMode.BASELINE, ExecutionMode.ZERO_PRUNE):
         app.calibrate()
     tokens = app.sample_tokens(args.sequences, seed=args.seed + 1)
-    baseline = app.run(tokens, mode=ExecutionMode.BASELINE)
+    baseline = app.run(tokens, mode=ExecutionMode.BASELINE, backend=args.backend)
     if mode is ExecutionMode.BASELINE:
         print(
             f"{args.app} baseline: {baseline.mean_time * 1e3:.2f} ms/seq, "
@@ -256,7 +272,8 @@ def _cmd_run(args) -> int:
     if mode is not ExecutionMode.ZERO_PRUNE:
         kwargs["threshold_index"] = args.threshold_set
     outcome = app.run(
-        tokens, mode=mode, precision=args.precision, recorder=recorder, **kwargs
+        tokens, mode=mode, precision=args.precision, backend=args.backend,
+        recorder=recorder, **kwargs
     )
     print(
         f"{args.app} {mode.value} (set {args.threshold_set}, {args.precision}): "
@@ -343,6 +360,7 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
         record_path=args.record,
         precision=args.precision,
+        backend=args.backend,
     )
     print(report)
     if args.record:
@@ -369,7 +387,7 @@ def _cmd_serve_stream(args) -> int:
     )
 
     mode = ExecutionMode(args.mode)
-    exec_kwargs = {"mode": mode}
+    exec_kwargs = {"mode": mode, "backend": args.backend}
     if mode is ExecutionMode.INTRA:
         exec_kwargs["alpha_intra"] = args.alpha_intra
     exec_config = ExecutionConfig(**exec_kwargs)

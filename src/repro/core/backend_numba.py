@@ -1,0 +1,199 @@
+"""Optional numba-jitted stepwise backend (gated on ``import numba``).
+
+The kernel body is a plain-Python scalar-loop transcription of the
+generated-C ``stepwise_run`` (:mod:`repro.core.cgen`) — the same fused
+GEMV-plus-gate-epilogue pass with in-kernel DRS row skipping. When numba
+is importable the function is ``njit``-compiled (``cache=True`` so the
+machine code persists across processes); when it is not, the backend
+reports unavailable and the registry falls back to the generated-C
+lowering for ``fused``. Keeping the kernel importable either way lets the
+test suite validate its arithmetic against the C backend on hosts without
+numba (the un-jitted function is slow but correct Python).
+
+Combined-mode plan groups fall back to the numpy
+:class:`~repro.core.program.CombinedGroupProgram` under this backend:
+correctness is mode-complete, acceleration covers the stepwise modes
+(the streaming-relevant hot path).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context_prediction import PredictedLink
+    from repro.core.executor import _UnitedWeights
+
+try:  # pragma: no cover - absent in the CI container
+    import numba
+except Exception:  # pragma: no cover - the expected path here
+    numba = None
+
+
+def available() -> bool:
+    """Whether numba is importable on this host."""
+    return numba is not None
+
+
+def unavailable_reason() -> str:
+    """Why the backend cannot run (empty when available)."""
+    return "" if available() else "numba is not installed"
+
+
+def stepwise_kernel(
+    proj: np.ndarray,  # (B, T, 4H)
+    u: np.ndarray,  # (4H, H)
+    bias: np.ndarray,  # (4H,)
+    h: np.ndarray,  # (B, H) in/out
+    c: np.ndarray,  # (B, H) in/out
+    hs: np.ndarray,  # (B, T, H)
+    cs: np.ndarray,  # (B, T, H); ignored unless use_cs
+    masks: np.ndarray,  # (B, T, H) uint8; ignored unless alpha > 0
+    resets: np.ndarray,  # (T, B) uint8; ignored unless use_resets
+    h_bar: np.ndarray,  # (H,)
+    c_bar: np.ndarray,  # (H,)
+    alpha: float,
+    use_cs: bool,
+    use_resets: bool,
+) -> None:
+    """Fused stepwise pass; numba-jittable nopython loop nest."""
+    batch, seq_len, _ = proj.shape
+    hidden = u.shape[1]
+    drs = alpha > 0.0
+    o_buf = np.empty(hidden)
+    c_new = np.empty(hidden)
+    h_new = np.empty(hidden)
+    for t in range(seq_len):
+        for b in range(batch):
+            if use_resets and resets[t, b]:
+                for j in range(hidden):
+                    h[b, j] = h_bar[j]
+                    c[b, j] = c_bar[j]
+            for j in range(hidden):
+                acc = proj[b, t, 3 * hidden + j] + bias[3 * hidden + j]
+                for k in range(hidden):
+                    acc += u[3 * hidden + j, k] * h[b, k]
+                o = 1.0 / (1.0 + np.exp(-acc))
+                o_buf[j] = o
+                if drs:
+                    masks[b, t, j] = 1 if o < alpha else 0
+            for j in range(hidden):
+                if drs and masks[b, t, j]:
+                    c_new[j] = 0.0
+                    h_new[j] = 0.0
+                    continue
+                acc_f = proj[b, t, j] + bias[j]
+                acc_i = proj[b, t, hidden + j] + bias[hidden + j]
+                acc_g = proj[b, t, 2 * hidden + j] + bias[2 * hidden + j]
+                for k in range(hidden):
+                    hk = h[b, k]
+                    acc_f += u[j, k] * hk
+                    acc_i += u[hidden + j, k] * hk
+                    acc_g += u[2 * hidden + j, k] * hk
+                f = 1.0 / (1.0 + np.exp(-acc_f))
+                i = 1.0 / (1.0 + np.exp(-acc_i))
+                g = np.tanh(acc_g)
+                cc = f * c[b, j] + i * g
+                c_new[j] = cc
+                h_new[j] = o_buf[j] * np.tanh(cc)
+            for j in range(hidden):
+                c[b, j] = c_new[j]
+                h[b, j] = h_new[j]
+                hs[b, t, j] = h_new[j]
+                if use_cs:
+                    cs[b, t, j] = c_new[j]
+
+
+_jitted = None
+
+
+def _kernel():
+    """The njit-compiled kernel (built once; raises when numba is absent)."""
+    global _jitted
+    if _jitted is None:
+        if numba is None:
+            raise BackendUnavailableError(unavailable_reason())
+        _jitted = numba.njit(cache=True, fastmath=False)(
+            stepwise_kernel
+        )  # pragma: no cover - needs numba
+    return _jitted
+
+
+class NumbaStepwiseProgram:  # pragma: no cover - needs numba to construct
+    """Numba twin of :class:`repro.core.cgen.CGenStepwiseProgram`."""
+
+    bit_exact = False
+
+    def __init__(
+        self,
+        united: "_UnitedWeights",
+        link: "PredictedLink",
+        batch: int,
+        seq_len: int,
+        drs_alpha: float = 0.0,
+    ) -> None:
+        self._fn = _kernel()
+        hidden = united.u.shape[1]
+        self.batch = batch
+        self.seq_len = seq_len
+        self.hidden = hidden
+        self.drs_alpha = drs_alpha
+        self._u = np.ascontiguousarray(united.u)
+        self._b = np.ascontiguousarray(united.b)
+        self._w_t = united.w.T
+        self._w_t_dense = np.ascontiguousarray(united.w.T)
+        self._h_bar = np.ascontiguousarray(link.h_bar)
+        self._c_bar = np.ascontiguousarray(link.c_bar)
+        self._slices = dict(united.slices)
+        self.proj = np.empty((batch, seq_len, 4 * hidden))
+        self.h = np.zeros((batch, hidden))
+        self.c = np.zeros((batch, hidden))
+        self._resets = np.zeros((seq_len, batch), dtype=np.uint8)
+        self._masks_u8 = np.zeros((batch, seq_len, hidden), dtype=np.uint8)
+        self._no_cs = np.empty((1, 1, hidden))
+        self.masks_all = (
+            np.empty((batch, seq_len, hidden), dtype=bool) if drs_alpha > 0.0 else None
+        )
+
+    def project(self, xs: np.ndarray, exact: bool = False) -> dict[str, np.ndarray]:
+        """Stage input projections (same contract as the cgen program)."""
+        if exact:
+            np.matmul(xs[:, :, None, :], self._w_t, out=self.proj[:, :, None, :])
+        else:
+            flat = xs.reshape(-1, xs.shape[-1])
+            np.matmul(flat, self._w_t_dense, out=self.proj.reshape(flat.shape[0], -1))
+        return {g: self.proj[..., sl] for g, sl in self._slices.items()}
+
+    def execute(
+        self,
+        hs: np.ndarray,
+        reset_cols: list[np.ndarray | None] | None = None,
+        cs: np.ndarray | None = None,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+        state_out: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        self.h[:] = 0.0 if h0 is None else h0
+        self.c[:] = 0.0 if c0 is None else c0
+        use_resets = reset_cols is not None
+        if use_resets:
+            self._resets[:] = 0
+            for t, col in enumerate(reset_cols):
+                if col is not None:
+                    self._resets[t] = col[:, 0]
+        self._fn(
+            self.proj, self._u, self._b, self.h, self.c, hs,
+            cs if cs is not None else self._no_cs,
+            self._masks_u8, self._resets, self._h_bar, self._c_bar,
+            float(self.drs_alpha), cs is not None, use_resets,
+        )
+        if self.masks_all is not None:
+            np.not_equal(self._masks_u8, 0, out=self.masks_all)
+        if state_out is not None:
+            out_h, out_c = state_out
+            out_h[:] = self.h
+            out_c[:] = self.c

@@ -1,0 +1,126 @@
+"""Optional torch stepwise backend (gated on ``import torch``).
+
+A straightforward fp64 torch lowering of the stepwise loop: one fused
+pre-activation GEMM per step (``h @ U.T``) with the sigmoid/tanh gate
+epilogue and DRS masking as tensor ops. When torch is absent — the normal
+case in this repo's CI — the backend reports unavailable with a clean
+reason and everything that asked for ``backend="torch"`` fails fast with
+:class:`~repro.errors.BackendUnavailableError` instead of an ImportError
+mid-run; the registry never routes ``fused`` here.
+
+Combined-mode plan groups fall back to the numpy
+:class:`~repro.core.program.CombinedGroupProgram`, exactly like the numba
+backend: mode-complete correctness, stepwise acceleration only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context_prediction import PredictedLink
+    from repro.core.executor import _UnitedWeights
+
+try:  # pragma: no cover - absent in the CI container
+    import torch
+except Exception:  # pragma: no cover - the expected path here
+    torch = None
+
+
+def available() -> bool:
+    """Whether torch is importable on this host."""
+    return torch is not None
+
+
+def unavailable_reason() -> str:
+    """Why the backend cannot run (empty when available)."""
+    return "" if available() else "torch is not installed"
+
+
+class TorchStepwiseProgram:  # pragma: no cover - needs torch to construct
+    """Torch twin of :class:`repro.core.cgen.CGenStepwiseProgram`."""
+
+    bit_exact = False
+
+    def __init__(
+        self,
+        united: "_UnitedWeights",
+        link: "PredictedLink",
+        batch: int,
+        seq_len: int,
+        drs_alpha: float = 0.0,
+    ) -> None:
+        if torch is None:
+            raise BackendUnavailableError(unavailable_reason())
+        hidden = united.u.shape[1]
+        self.batch = batch
+        self.seq_len = seq_len
+        self.hidden = hidden
+        self.drs_alpha = drs_alpha
+        self._u_t = torch.from_numpy(np.ascontiguousarray(united.u.T))  # (H, 4H)
+        self._bias = torch.from_numpy(np.ascontiguousarray(united.b))
+        self._w_t = united.w.T
+        self._w_t_dense = np.ascontiguousarray(united.w.T)
+        self._h_bar = torch.from_numpy(np.ascontiguousarray(link.h_bar))
+        self._c_bar = torch.from_numpy(np.ascontiguousarray(link.c_bar))
+        self._slices = dict(united.slices)
+        self.proj = np.empty((batch, seq_len, 4 * hidden))
+        self.masks_all = (
+            np.empty((batch, seq_len, hidden), dtype=bool) if drs_alpha > 0.0 else None
+        )
+
+    def project(self, xs: np.ndarray, exact: bool = False) -> dict[str, np.ndarray]:
+        """Stage input projections (same contract as the cgen program)."""
+        if exact:
+            np.matmul(xs[:, :, None, :], self._w_t, out=self.proj[:, :, None, :])
+        else:
+            flat = xs.reshape(-1, xs.shape[-1])
+            np.matmul(flat, self._w_t_dense, out=self.proj.reshape(flat.shape[0], -1))
+        return {g: self.proj[..., sl] for g, sl in self._slices.items()}
+
+    def execute(
+        self,
+        hs: np.ndarray,
+        reset_cols: list[np.ndarray | None] | None = None,
+        cs: np.ndarray | None = None,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+        state_out: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        hidden = self.hidden
+        alpha = self.drs_alpha
+        drs = alpha > 0.0
+        h = torch.zeros((self.batch, hidden), dtype=torch.float64)
+        c = torch.zeros((self.batch, hidden), dtype=torch.float64)
+        if h0 is not None:
+            h.copy_(torch.from_numpy(np.ascontiguousarray(h0)))
+        if c0 is not None:
+            c.copy_(torch.from_numpy(np.ascontiguousarray(c0)))
+        proj = torch.from_numpy(self.proj)
+        for t in range(self.seq_len):
+            if reset_cols is not None and reset_cols[t] is not None:
+                reset = torch.from_numpy(reset_cols[t])
+                h = torch.where(reset, self._h_bar, h)
+                c = torch.where(reset, self._c_bar, c)
+            pre = proj[:, t] + h @ self._u_t + self._bias
+            f = torch.sigmoid(pre[:, :hidden])
+            i = torch.sigmoid(pre[:, hidden : 2 * hidden])
+            g = torch.tanh(pre[:, 2 * hidden : 3 * hidden])
+            o = torch.sigmoid(pre[:, 3 * hidden :])
+            c = f * c + i * g
+            if drs:
+                mask = o < alpha
+                self.masks_all[:, t] = mask.numpy()
+                c = torch.where(mask, torch.zeros((), dtype=torch.float64), c)
+            h = o * torch.tanh(c)
+            hs[:, t] = h.numpy()
+            if cs is not None:
+                cs[:, t] = c.numpy()
+        if state_out is not None:
+            out_h, out_c = state_out
+            out_h[:] = h.numpy()
+            out_c[:] = c.numpy()

@@ -1,0 +1,169 @@
+"""Execution-backend registry for compiled programs.
+
+``ExecutionConfig.backend`` names how :class:`~repro.core.executor.
+LSTMExecutor` lowers plans into compiled programs:
+
+* ``"numpy"`` — the default: the :mod:`repro.core.program` lowerings,
+  whose BLAS-dispatch-pinned arithmetic is the frozen fp64 bit-exact
+  oracle (bit-identical to :class:`~repro.core.reference.
+  ReferenceExecutor` in all five modes).
+* ``"cgen"`` — generated-C fused kernels (:mod:`repro.core.cgen`): one
+  native call per layer run, GEMM + fused gate epilogue, in-kernel DRS
+  row compaction, Appleyard timestep-batched input GEMM. Needs a host C
+  compiler; tolerance-level agreement with the oracle.
+* ``"numba"`` — the same fused pass jitted with numba
+  (:mod:`repro.core.backend_numba`); unavailable when numba is not
+  installed.
+* ``"torch"`` — an optional torch lowering
+  (:mod:`repro.core.backend_torch`); unavailable when torch is not
+  installed.
+* ``"fused"`` — alias resolving to the best available fused backend:
+  ``cgen`` first (the complete lowering — it also covers combined-mode
+  tissue walks), then ``numba``.
+
+Resolution happens once, at executor construction
+(:func:`resolve_backend`), so a missing toolchain fails fast with a
+:class:`~repro.errors.BackendUnavailableError` naming the reason rather
+than deep inside a run. Two invariants every non-oracle backend keeps:
+
+* **Plans are backend-invariant.** Anywhere the inter-level planner reads
+  projection bits (combined mode, inter-active stepwise), the projection
+  stays the exact per-row lift — so relevance values, breakpoints, and
+  tissue schedules are identical across backends, and only the gate
+  arithmetic differs at tolerance level.
+* **The simulator plane is untouched.** Kernel traces and bytes-moved
+  accounting describe the *modeled mobile GPU* execution of a plan; a
+  host backend changes how the numerics are computed, never the plan, so
+  weight-traffic counters are identical across backends (tested).
+
+Combined-mode programs: ``cgen`` lowers them natively; ``numba`` and
+``torch`` fall back to the numpy :class:`~repro.core.program.
+CombinedGroupProgram` (correct, just not accelerated).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import backend_numba, backend_torch
+from repro.core.program import CombinedGroupProgram, StepwiseProgram
+from repro.errors import BackendUnavailableError, ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context_prediction import PredictedLink
+    from repro.core.executor import _UnitedWeights
+    from repro.core.plan import CachedLayerPlan
+
+#: Every accepted ``ExecutionConfig.backend`` value (including the alias).
+BACKEND_NAMES: tuple[str, ...] = ("numpy", "fused", "cgen", "numba", "torch")
+
+#: Resolution order of the ``fused`` alias.
+FUSED_ORDER: tuple[str, ...] = ("cgen", "numba")
+
+
+def _cgen_available() -> tuple[bool, str]:
+    from repro.core import cgen
+
+    if cgen.compiler_available():
+        return True, ""
+    return False, "no C compiler (cc/gcc/clang) on this host"
+
+
+def backend_availability() -> dict[str, tuple[bool, str]]:
+    """Map every concrete backend to ``(available, reason-if-not)``."""
+    return {
+        "numpy": (True, ""),
+        "cgen": _cgen_available(),
+        "numba": (backend_numba.available(), backend_numba.unavailable_reason()),
+        "torch": (backend_torch.available(), backend_torch.unavailable_reason()),
+    }
+
+
+def validate_backend_name(name: str) -> str:
+    """Check a config-level backend name (availability is not probed)."""
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return name
+
+
+def resolve_backend(name: str) -> str:
+    """Resolve a backend name to a concrete, available backend.
+
+    ``"fused"`` picks the first available entry of :data:`FUSED_ORDER`.
+    Raises :class:`~repro.errors.BackendUnavailableError` with the
+    per-backend reason when nothing can run.
+    """
+    validate_backend_name(name)
+    availability = backend_availability()
+    if name == "fused":
+        reasons = []
+        for candidate in FUSED_ORDER:
+            ok, reason = availability[candidate]
+            if ok:
+                return candidate
+            reasons.append(f"{candidate}: {reason}")
+        raise BackendUnavailableError(
+            "no fused backend available (" + "; ".join(reasons) + ")"
+        )
+    ok, reason = availability[name]
+    if not ok:
+        raise BackendUnavailableError(f"backend {name!r} unavailable: {reason}")
+    return name
+
+
+def backend_is_exact(name: str) -> bool:
+    """Whether a resolved backend carries the bit-identity contract."""
+    return name == "numpy"
+
+
+def make_stepwise_program(
+    backend: str,
+    united: "_UnitedWeights",
+    link: "PredictedLink",
+    batch: int,
+    seq_len: int,
+    drs_alpha: float = 0.0,
+):
+    """Build one stepwise program under a *resolved* backend name."""
+    if backend == "numpy":
+        return StepwiseProgram(united, link, batch, seq_len, drs_alpha=drs_alpha)
+    if backend == "cgen":
+        from repro.core.cgen import CGenStepwiseProgram
+
+        return CGenStepwiseProgram(united, link, batch, seq_len, drs_alpha=drs_alpha)
+    if backend == "numba":  # pragma: no cover - needs numba
+        return backend_numba.NumbaStepwiseProgram(
+            united, link, batch, seq_len, drs_alpha=drs_alpha
+        )
+    if backend == "torch":  # pragma: no cover - needs torch
+        return backend_torch.TorchStepwiseProgram(
+            united, link, batch, seq_len, drs_alpha=drs_alpha
+        )
+    raise ConfigurationError(f"unresolved backend {backend!r}")
+
+
+def make_combined_program(
+    backend: str,
+    united: "_UnitedWeights",
+    link: "PredictedLink",
+    plan: "CachedLayerPlan",
+    group: int,
+    seq_len: int,
+    alpha_intra: float = 0.0,
+):
+    """Build one combined-group program under a *resolved* backend name.
+
+    ``numba`` / ``torch`` fall back to the numpy lowering (see module
+    docstring); ``cgen`` lowers the tissue walk natively.
+    """
+    if backend == "cgen":
+        from repro.core.cgen import CGenCombinedProgram
+
+        return CGenCombinedProgram(
+            united, link, plan, group, seq_len, alpha_intra=alpha_intra
+        )
+    return CombinedGroupProgram(
+        united, link, plan, group, seq_len, alpha_intra=alpha_intra
+    )

@@ -1,0 +1,496 @@
+"""Generated-C fused kernels: the default ``fused`` backend lowering.
+
+The numpy programs in :mod:`repro.core.program` are already allocation-free,
+but every timestep still crosses the interpreter a dozen times (matmul
+dispatch, ufunc ladder, mask bookkeeping). This module lowers the same
+arithmetic into two C kernels — compiled once per host with the system C
+compiler, loaded through :mod:`ctypes` — so one layer's whole timestep loop
+(or one combined plan group's whole tissue walk) is a single native call:
+
+* ``stepwise_run`` — the Appleyard single-pass shape: for each ``(b, t)``
+  the recurrent GEMV and the sigmoid/tanh gate epilogue fuse into one pass
+  over the united weight rows. Algorithm 3's DRS runs *inside* the kernel:
+  the output gate's rows are computed first, and a trivial row skips its
+  ``f``/``i``/``g`` dot products entirely — the literal row compaction the
+  paper's GPU kernel performs, not compute-then-zero.
+* ``combined_run`` — one plan group's tissue walk. Per tissue, pass one
+  computes every fused cell's output gate and intersects the trivial-row
+  masks into the tissue's *shared* mask (the shared-weight-load
+  constraint); pass two runs the remaining gate math, skipping shared
+  rows; state writes happen only after every cell has read the pre-tissue
+  state, matching the interpreted walk's gather-then-scatter order.
+
+The input projections are hoisted out of the kernels: the program stages
+``W·x_t`` for *all* timesteps as one large GEMM at :meth:`project` time
+(Appleyard's timestep-batched input GEMM) — except when the caller needs
+the planner's bit-exact per-row lift (``exact=True``), which keeps
+structural plans identical across backends.
+
+Numerics contract: these kernels are **tolerance-level**, not bit-exact —
+plain ``1/(1+exp(-x))``/``tanh`` in fp64 and natural dot-product order
+instead of the numpy programs' BLAS-dispatch-pinned ladders. The frozen
+oracle stays the numpy backend; agreement is gated per mode in
+``benchmarks/bench_backends.py``.
+
+Build pipeline: the C source below is hashed together with the compiler
+identity; the shared object is cached under the user's temp directory and
+rebuilt only when either changes, so spawned fleet workers load the same
+``.so`` without recompiling. No compiler on the host simply makes the
+backend unavailable (:func:`compiler_available`), it never breaks import.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context_prediction import PredictedLink
+    from repro.core.executor import _UnitedWeights
+    from repro.core.plan import CachedLayerPlan
+
+#: United-matrix row offsets, in multiples of H, following
+#: :data:`repro.nn.lstm_cell.GATE_ORDER` = (f, i, c, o).
+_OFF_F, _OFF_I, _OFF_C, _OFF_O = 0, 1, 2, 3
+
+C_SOURCE = r"""
+#include <math.h>
+#include <string.h>
+
+static double sigmoid(double x) { return 1.0 / (1.0 + exp(-x)); }
+
+static double dot(const double *a, const double *b, long n) {
+    double acc = 0.0;
+    for (long k = 0; k < n; k++) acc += a[k] * b[k];
+    return acc;
+}
+
+/* One stepwise layer: proj (B,T,4H) staged by the caller, united u (4H,H)
+ * row-major with gate rows at offsets {f:0, i:H, c:2H, o:3H}, h/c (B,H)
+ * carried in place across timesteps.  DRS (alpha > 0): o-gate rows first,
+ * trivial rows skip their f/i/g dot products.  scratch holds 3H doubles. */
+void stepwise_run(
+    const double *proj, const double *u, const double *bias,
+    double *h, double *c, double *hs, double *cs,
+    unsigned char *masks, const unsigned char *resets,
+    const double *h_bar, const double *c_bar,
+    double alpha, double *scratch, long B, long T, long H)
+{
+    const long H4 = 4 * H;
+    const int drs = alpha > 0.0;
+    double *o_buf = scratch;
+    double *c_new = scratch + H;
+    double *h_new = scratch + 2 * H;
+    for (long t = 0; t < T; t++) {
+        for (long b = 0; b < B; b++) {
+            double *h_row = h + b * H;
+            double *c_row = c + b * H;
+            if (resets && resets[t * B + b]) {
+                memcpy(h_row, h_bar, H * sizeof(double));
+                memcpy(c_row, c_bar, H * sizeof(double));
+            }
+            const double *p = proj + (b * T + t) * H4;
+            unsigned char *m_row = drs ? masks + (b * T + t) * H : 0;
+            for (long j = 0; j < H; j++) {
+                double o = sigmoid(
+                    p[3 * H + j] + dot(u + (3 * H + j) * H, h_row, H)
+                    + bias[3 * H + j]);
+                o_buf[j] = o;
+                if (drs) m_row[j] = o < alpha;
+            }
+            for (long j = 0; j < H; j++) {
+                if (drs && m_row[j]) {
+                    /* Trivial row: never read the f/i/g weight rows. */
+                    c_new[j] = 0.0;
+                    h_new[j] = 0.0;
+                    continue;
+                }
+                double f = sigmoid(
+                    p[j] + dot(u + j * H, h_row, H) + bias[j]);
+                double i = sigmoid(
+                    p[H + j] + dot(u + (H + j) * H, h_row, H) + bias[H + j]);
+                double g = tanh(
+                    p[2 * H + j] + dot(u + (2 * H + j) * H, h_row, H)
+                    + bias[2 * H + j]);
+                double cc = f * c_row[j] + i * g;
+                c_new[j] = cc;
+                h_new[j] = o_buf[j] * tanh(cc);
+            }
+            memcpy(c_row, c_new, H * sizeof(double));
+            memcpy(h_row, h_new, H * sizeof(double));
+            memcpy(hs + (b * T + t) * H, h_new, H * sizeof(double));
+            if (cs) memcpy(cs + (b * T + t) * H, c_new, H * sizeof(double));
+        }
+    }
+}
+
+/* One combined plan group's tissue walk: cells flattened as (subs, ts)
+ * with per-tissue extents in offsets (n_tissues + 1 entries).  Pass one
+ * computes every fused cell's output gate and intersects the trivial-row
+ * masks into the tissue's shared mask; pass two runs f/i/g skipping
+ * shared rows; writes land only after every cell read pre-tissue state.
+ * scratch holds 3 * max_k * H doubles. */
+void combined_run(
+    const double *proj, const double *u, const double *bias,
+    double *h_state, double *c_state, double *hs,
+    unsigned char *shared, const long *offsets,
+    const long *subs, const long *ts,
+    double alpha, double *scratch,
+    long G, long T, long H, long n_sub, long n_tissues)
+{
+    const long H4 = 4 * H;
+    const int drs = alpha > 0.0;
+    for (long ti = 0; ti < n_tissues; ti++) {
+        const long lo = offsets[ti], hi = offsets[ti + 1];
+        const long k = hi - lo;
+        double *o_buf = scratch;
+        double *c_buf = scratch + k * H;
+        double *h_buf = scratch + 2 * k * H;
+        for (long g_row = 0; g_row < G; g_row++) {
+            unsigned char *sh = drs ? shared + (ti * G + g_row) * H : 0;
+            for (long m = 0; m < k; m++) {
+                const double *h_prev =
+                    h_state + (g_row * n_sub + subs[lo + m]) * H;
+                const double *p = proj + (g_row * T + ts[lo + m]) * H4;
+                for (long j = 0; j < H; j++) {
+                    o_buf[m * H + j] = sigmoid(
+                        p[3 * H + j] + dot(u + (3 * H + j) * H, h_prev, H)
+                        + bias[3 * H + j]);
+                }
+            }
+            if (drs) {
+                for (long j = 0; j < H; j++) {
+                    unsigned char all_trivial = 1;
+                    for (long m = 0; m < k; m++)
+                        all_trivial &= (unsigned char)(o_buf[m * H + j] < alpha);
+                    sh[j] = all_trivial;
+                }
+            }
+            for (long m = 0; m < k; m++) {
+                const double *h_prev =
+                    h_state + (g_row * n_sub + subs[lo + m]) * H;
+                const double *c_prev =
+                    c_state + (g_row * n_sub + subs[lo + m]) * H;
+                const double *p = proj + (g_row * T + ts[lo + m]) * H4;
+                for (long j = 0; j < H; j++) {
+                    double cc;
+                    if (drs && sh[j]) {
+                        cc = 0.0;
+                    } else {
+                        double f = sigmoid(
+                            p[j] + dot(u + j * H, h_prev, H) + bias[j]);
+                        double i = sigmoid(
+                            p[H + j] + dot(u + (H + j) * H, h_prev, H)
+                            + bias[H + j]);
+                        double g = tanh(
+                            p[2 * H + j] + dot(u + (2 * H + j) * H, h_prev, H)
+                            + bias[2 * H + j]);
+                        cc = f * c_prev[j] + i * g;
+                    }
+                    c_buf[m * H + j] = cc;
+                    h_buf[m * H + j] = o_buf[m * H + j] * tanh(cc);
+                }
+            }
+            for (long m = 0; m < k; m++) {
+                double *h_dst = h_state + (g_row * n_sub + subs[lo + m]) * H;
+                double *c_dst = c_state + (g_row * n_sub + subs[lo + m]) * H;
+                memcpy(h_dst, h_buf + m * H, H * sizeof(double));
+                memcpy(c_dst, c_buf + m * H, H * sizeof(double));
+                memcpy(hs + (g_row * T + ts[lo + m]) * H, h_buf + m * H,
+                       H * sizeof(double));
+            }
+        }
+    }
+}
+"""
+
+
+def _compiler() -> str | None:
+    """The host C compiler, or ``None``."""
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    return None
+
+
+def compiler_available() -> bool:
+    """Whether this host can build the generated-C backend."""
+    return _compiler() is not None
+
+
+_lib: ctypes.CDLL | None = None
+
+
+#: Compile flags for the generated kernels. ``-ffast-math`` is deliberate:
+#: this backend carries a tolerance contract, not bit-identity, and letting
+#: the compiler vectorize the gate transcendentals (libmvec on glibc) is
+#: where most of the fused speedup comes from. Flags are part of the build
+#: cache key, so changing them forces a rebuild.
+CFLAGS: tuple[str, ...] = (
+    "-O3",
+    "-march=native",
+    "-ffast-math",
+    "-funroll-loops",
+    "-fPIC",
+)
+
+#: Link flags — deliberately *without* the fast-math family. Passing
+#: ``-ffast-math`` at link time pulls in crtfastmath.o, whose constructor
+#: sets FTZ/DAZ in the FPU control register for the whole process when the
+#: shared object loads, silently breaking IEEE subnormals for numpy and
+#: every other library in the host interpreter. Compiling with fast-math
+#: but linking without it keeps the vectorized kernel code while leaving
+#: global floating-point state untouched.
+LDFLAGS: tuple[str, ...] = ("-shared",)
+
+
+def _build_dir(tag: str) -> Path:
+    return Path(tempfile.gettempdir()) / f"repro-cgen-{tag}"
+
+
+def load_library() -> ctypes.CDLL:
+    """Build (once per source+compiler) and load the kernel library.
+
+    The shared object is cached under the temp directory keyed on a hash
+    of the C source and the compiler identity, so repeated runs — and the
+    fleet's spawned worker processes — reuse one build. The compile step
+    writes to a process-unique name and atomically renames into place, so
+    concurrent builders never read a half-written object.
+    """
+    global _lib
+    if _lib is not None:
+        return _lib
+    compiler = _compiler()
+    if compiler is None:
+        raise BackendUnavailableError(
+            "generated-C backend needs a C compiler (cc/gcc/clang); none found"
+        )
+    tag = hashlib.sha256(
+        (
+            C_SOURCE + "\n" + compiler + "\n"
+            + " ".join(CFLAGS) + "\n" + " ".join(LDFLAGS)
+        ).encode()
+    ).hexdigest()[:16]
+    build = _build_dir(tag)
+    so_path = build / "repro_kernels.so"
+    if not so_path.exists():
+        build.mkdir(parents=True, exist_ok=True)
+        src = build / "repro_kernels.c"
+        src.write_text(C_SOURCE)
+        obj = build / f"repro_kernels.{os.getpid()}.tmp.o"
+        tmp = build / f"repro_kernels.{os.getpid()}.tmp.so"
+        # Two steps on purpose: fast-math at compile only (see LDFLAGS).
+        compile_cmd = [compiler, *CFLAGS, "-c", str(src), "-o", str(obj)]
+        link_cmd = [compiler, *LDFLAGS, str(obj), "-o", str(tmp), "-lm"]
+        for cmd in (compile_cmd, link_cmd):
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                raise BackendUnavailableError(
+                    f"C kernel build failed ({' '.join(cmd)}):\n{proc.stderr}"
+                )
+        obj.unlink(missing_ok=True)
+        os.replace(tmp, so_path)
+    lib = ctypes.CDLL(str(so_path))
+    ptr, dbl, lng = ctypes.c_void_p, ctypes.c_double, ctypes.c_long
+    lib.stepwise_run.restype = None
+    lib.stepwise_run.argtypes = [
+        ptr, ptr, ptr,  # proj, u, bias
+        ptr, ptr, ptr, ptr,  # h, c, hs, cs
+        ptr, ptr,  # masks, resets
+        ptr, ptr,  # h_bar, c_bar
+        dbl, ptr, lng, lng, lng,  # alpha, scratch, B, T, H
+    ]
+    lib.combined_run.restype = None
+    lib.combined_run.argtypes = [
+        ptr, ptr, ptr,  # proj, u, bias
+        ptr, ptr, ptr,  # h_state, c_state, hs
+        ptr, ptr, ptr, ptr,  # shared, offsets, subs, ts
+        dbl, ptr,  # alpha, scratch
+        lng, lng, lng, lng, lng,  # G, T, H, n_sub, n_tissues
+    ]
+    _lib = lib
+    return lib
+
+
+def _ptr(array: np.ndarray | None) -> int | None:
+    """C-contiguous data pointer (``None`` maps to C ``NULL``)."""
+    if array is None:
+        return None
+    assert array.flags.c_contiguous
+    return array.ctypes.data
+
+
+class CGenStepwiseProgram:
+    """C-kernel twin of :class:`repro.core.program.StepwiseProgram`.
+
+    Same two-phase API and the same workspace-ownership rules; the
+    timestep loop runs in ``stepwise_run`` as one native call. Tolerance-
+    level agreement with the numpy lowering, never bit-contracted.
+    """
+
+    bit_exact = False
+
+    def __init__(
+        self,
+        united: "_UnitedWeights",
+        link: "PredictedLink",
+        batch: int,
+        seq_len: int,
+        drs_alpha: float = 0.0,
+    ) -> None:
+        self._lib = load_library()
+        hidden = united.u.shape[1]
+        self.batch = batch
+        self.seq_len = seq_len
+        self.hidden = hidden
+        self.drs_alpha = drs_alpha
+        self._u = np.ascontiguousarray(united.u)
+        self._b = np.ascontiguousarray(united.b)
+        self._w_t = united.w.T  # (E, 4H) view: exact per-row lift operand
+        self._w_t_dense = np.ascontiguousarray(united.w.T)  # big-GEMM operand
+        self._h_bar = np.ascontiguousarray(link.h_bar)
+        self._c_bar = np.ascontiguousarray(link.c_bar)
+        self._slices = dict(united.slices)
+        self.proj = np.empty((batch, seq_len, 4 * hidden))
+        self.h = np.zeros((batch, hidden))
+        self.c = np.zeros((batch, hidden))
+        self._scratch = np.empty(3 * hidden)
+        self._resets = np.zeros((seq_len, batch), dtype=np.uint8)
+        self.masks_all = (
+            np.empty((batch, seq_len, hidden), dtype=bool) if drs_alpha > 0.0 else None
+        )
+
+    def project(self, xs: np.ndarray, exact: bool = False) -> dict[str, np.ndarray]:
+        """Stage the input projections; returns per-gate planner views.
+
+        ``exact=False`` (the default) hoists ``W·x_t`` for every timestep
+        into one ``(B*T, E) @ (E, 4H)`` GEMM — Appleyard's timestep-batched
+        input GEMM. ``exact=True`` keeps the per-row GEMV lift of
+        :func:`repro.core.executor._row_proj` so the inter-level planner
+        sees the same projection bits on every backend (structural plans
+        stay backend-invariant).
+        """
+        if exact:
+            np.matmul(xs[:, :, None, :], self._w_t, out=self.proj[:, :, None, :])
+        else:
+            flat = xs.reshape(-1, xs.shape[-1])
+            np.matmul(flat, self._w_t_dense, out=self.proj.reshape(flat.shape[0], -1))
+        return {g: self.proj[..., sl] for g, sl in self._slices.items()}
+
+    def execute(
+        self,
+        hs: np.ndarray,
+        reset_cols: list[np.ndarray | None] | None = None,
+        cs: np.ndarray | None = None,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+        state_out: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Run the fused timestep loop (same contract as the numpy program)."""
+        self.h[:] = 0.0 if h0 is None else h0
+        self.c[:] = 0.0 if c0 is None else c0
+        resets = None
+        if reset_cols is not None:
+            self._resets[:] = 0
+            for t, col in enumerate(reset_cols):
+                if col is not None:
+                    self._resets[t] = col[:, 0]
+            resets = self._resets
+        masks = self.masks_all if self.drs_alpha > 0.0 else None
+        self._lib.stepwise_run(
+            _ptr(self.proj), _ptr(self._u), _ptr(self._b),
+            _ptr(self.h), _ptr(self.c), _ptr(hs), _ptr(cs),
+            _ptr(masks), _ptr(resets),
+            _ptr(self._h_bar), _ptr(self._c_bar),
+            float(self.drs_alpha), _ptr(self._scratch),
+            self.batch, self.seq_len, self.hidden,
+        )
+        if state_out is not None:
+            out_h, out_c = state_out
+            out_h[:] = self.h
+            out_c[:] = self.c
+
+
+class CGenCombinedProgram:
+    """C-kernel twin of :class:`repro.core.program.CombinedGroupProgram`.
+
+    One lowering covers both of the numpy program's regimes (constant-
+    folded and tissue walk): the kernel walks the plan's tissues in
+    schedule order with the per-tissue shared-mask intersection inside
+    the pass. Exposes the same ``hs`` / ``shared`` outputs the executor
+    reads for scatter and DRS statistics.
+    """
+
+    bit_exact = False
+
+    def __init__(
+        self,
+        united: "_UnitedWeights",
+        link: "PredictedLink",
+        plan: "CachedLayerPlan",
+        group: int,
+        seq_len: int,
+        alpha_intra: float = 0.0,
+    ) -> None:
+        self._lib = load_library()
+        hidden = united.u.shape[1]
+        self.group = group
+        self.seq_len = seq_len
+        self.hidden = hidden
+        self.alpha_intra = alpha_intra
+        self.n_sub = len(plan.sublayers)
+        self.n_tissues = len(plan.tissues)
+        self._u = np.ascontiguousarray(united.u)
+        self._b = np.ascontiguousarray(united.b)
+        self._h_bar = np.ascontiguousarray(link.h_bar)
+        self._c_bar = np.ascontiguousarray(link.c_bar)
+        subs: list[int] = []
+        ts: list[int] = []
+        offsets = [0]
+        max_k = 1
+        for tissue in plan.tissues:
+            for s, t in tissue.cells:
+                subs.append(s)
+                ts.append(t)
+            offsets.append(len(subs))
+            max_k = max(max_k, len(tissue.cells))
+        self._subs = np.asarray(subs, dtype=np.int64)
+        self._ts = np.asarray(ts, dtype=np.int64)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        self._scratch = np.empty(3 * max_k * hidden)
+        self.h_state = np.zeros((group, self.n_sub, hidden))
+        self.c_state = np.zeros((group, self.n_sub, hidden))
+        self.hs = np.empty((group, seq_len, hidden))
+        self.shared: np.ndarray | None = (
+            np.empty((self.n_tissues, group, hidden), dtype=bool)
+            if alpha_intra > 0.0
+            else None
+        )
+
+    def execute(self, proj_group: np.ndarray) -> None:
+        """Run the compiled group over ``proj_group`` ``(G, T, 4H)``."""
+        proj = np.ascontiguousarray(proj_group)
+        self.h_state[:, 0] = 0.0
+        self.c_state[:, 0] = 0.0
+        if self.n_sub > 1:
+            self.h_state[:, 1:] = self._h_bar
+            self.c_state[:, 1:] = self._c_bar
+        self._lib.combined_run(
+            _ptr(proj), _ptr(self._u), _ptr(self._b),
+            _ptr(self.h_state), _ptr(self.c_state), _ptr(self.hs),
+            _ptr(self.shared), _ptr(self._offsets),
+            _ptr(self._subs), _ptr(self._ts),
+            float(self.alpha_intra), _ptr(self._scratch),
+            self.group, self.seq_len, self.hidden, self.n_sub, self.n_tissues,
+        )

@@ -67,6 +67,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.backends import (
+    backend_is_exact,
+    make_combined_program,
+    make_stepwise_program,
+    resolve_backend,
+    validate_backend_name,
+)
 from repro.core.breakpoints import divide_layer, find_breakpoints
 from repro.core.context_prediction import PredictedLink
 from repro.core.plan import (
@@ -79,11 +86,7 @@ from repro.core.plan import (
     fingerprint_array,
     fingerprint_weights,
 )
-from repro.core.program import (
-    CombinedGroupProgram,
-    ProgramCache,
-    StepwiseProgram,
-)
+from repro.core.program import ProgramCache, StepwiseProgram
 from repro.core.relevance import (
     exact_relevance_values,
     recurrent_row_ranges,
@@ -141,6 +144,15 @@ class ExecutionConfig:
             quantize ``W``/``U`` once at executor construction, so every
             downstream path (programs, planning, the fleet) runs on the
             dequantized values; a plain string (``"int8"``) is coerced.
+        backend: How compiled programs execute
+            (:mod:`repro.core.backends`). ``"numpy"`` (the default) is
+            the frozen fp64 bit-exact oracle; ``"fused"`` resolves to the
+            best available fused-kernel lowering (generated C, then
+            numba); ``"cgen"`` / ``"numba"`` / ``"torch"`` name one
+            explicitly. Non-numpy backends require ``compile=True`` and
+            agree with the oracle at tolerance level, never bit-exactly;
+            structural plans stay backend-invariant. Availability is
+            resolved at executor construction.
     """
 
     mode: ExecutionMode = ExecutionMode.BASELINE
@@ -153,10 +165,12 @@ class ExecutionConfig:
     spec: GPUSpec = TEGRA_X1
     compact_drs_gemm: bool = False
     precision: Precision = Precision()
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if not isinstance(self.precision, Precision):
             object.__setattr__(self, "precision", Precision.parse(self.precision))
+        validate_backend_name(self.backend)
         if self.alpha_inter < 0 or self.alpha_intra < 0:
             raise ConfigurationError("thresholds must be non-negative")
         if self.mts < 1:
@@ -395,6 +409,24 @@ class LSTMExecutor:
         self.plan_cache = plan_cache
         self.recorder = recorder
         self.compile = compile
+        #: Resolved concrete backend name ("fused" resolves here, once;
+        #: a missing toolchain raises BackendUnavailableError now, not
+        #: mid-run). Interpreted execution is numpy-only by definition.
+        if compile:
+            self.backend = resolve_backend(config.backend)
+        elif config.backend != "numpy":
+            raise ConfigurationError(
+                f"backend {config.backend!r} requires compile=True "
+                "(the interpreted loops are the numpy specification)"
+            )
+        else:
+            self.backend = "numpy"
+        self._exact_backend = backend_is_exact(self.backend)
+        if config.compact_drs_gemm and not self._exact_backend:
+            raise ConfigurationError(
+                "compact_drs_gemm forces the interpreted numpy DRS loop; "
+                f"it cannot run under backend {self.backend!r}"
+            )
         if compile and program_cache is None:
             program_cache = ProgramCache()
         self.program_cache = program_cache
@@ -501,7 +533,12 @@ class LSTMExecutor:
                 plan_layers[b].append(records[b])
 
         top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
-        if top.ndim == 2:
+        if not self._exact_backend:
+            # Fused backends carry no bit contract, so the head readout
+            # runs as one plain GEMM — the cheap form the per-row lift
+            # deliberately gave up to keep the oracle's invariances.
+            logits = self.network.head_logits(top)
+        elif top.ndim == 2:
             # Pooled readout: lift each row to its own (1, H) GEMV so the
             # logits stay batch-composition-invariant (see _row_gemv).
             logits = self.network.head_logits(top[:, None, :])[:, 0]
@@ -626,6 +663,7 @@ class LSTMExecutor:
                 "mts": cfg.mts,
                 "drs_style": cfg.drs_style,
                 "precision": cfg.precision.tag,
+                "backend": self.backend,
             },
         )
         if builder is None:
@@ -845,7 +883,10 @@ class LSTMExecutor:
         batch, seq_len, _ = xs.shape
         hidden = weights.hidden_size
         program = self._compiled_stepwise(layer_index, united, batch, seq_len, drs)
-        proj = program.project(xs)
+        # Inter-active planning reads the projection bits, so fused
+        # backends project exactly there (plans stay backend-invariant);
+        # everywhere else they take the timestep-batched input GEMM.
+        proj = program.project(xs, exact=cfg.inter_active or self._exact_backend)
 
         plans: list[CachedLayerPlan] | None = None
         reset_cols: list[np.ndarray | None] | None = None
@@ -1265,16 +1306,18 @@ class LSTMExecutor:
         batch: int,
         seq_len: int,
         drs: bool,
-    ) -> StepwiseProgram:
+    ) -> StepwiseProgram:  # or a backend twin with the same interface
         """Cached stepwise program for this layer at ``(batch, seq_len)``.
 
-        Keyed on content (weights + link fingerprints), shapes, and the
-        DRS threshold — *not* on breakpoints, which are run-time inputs —
-        so every stepwise mode at one shape shares a program.
+        Keyed on content (weights + link fingerprints), the resolved
+        backend, shapes, and the DRS threshold — *not* on breakpoints,
+        which are run-time inputs — so every stepwise mode at one shape
+        shares a program.
         """
         alpha = self.config.alpha_intra if drs else 0.0
         key = (
             "stepwise",
+            self.backend,
             self._weights_fingerprint(layer_index),
             self._link_fingerprint(layer_index),
             batch,
@@ -1284,7 +1327,9 @@ class LSTMExecutor:
         link = self.predicted_links[layer_index]
         return self._program(
             key,
-            lambda: StepwiseProgram(united, link, batch, seq_len, drs_alpha=alpha),
+            lambda: make_stepwise_program(
+                self.backend, united, link, batch, seq_len, drs_alpha=alpha
+            ),
         )
 
     def _compiled_combined(
@@ -1294,7 +1339,7 @@ class LSTMExecutor:
         plan: CachedLayerPlan,
         group: int,
         seq_len: int,
-    ) -> CombinedGroupProgram:
+    ):
         """Cached tissue-walk program for one combined-mode plan group.
 
         The plan ``signature`` in the key is :func:`repro.core.tissue.
@@ -1304,6 +1349,7 @@ class LSTMExecutor:
         cfg = self.config
         key = (
             "combined",
+            self.backend,
             self._weights_fingerprint(layer_index),
             self._link_fingerprint(layer_index),
             plan.signature,
@@ -1314,7 +1360,13 @@ class LSTMExecutor:
         link = self.predicted_links[layer_index]
         return self._program(
             key,
-            lambda: CombinedGroupProgram(
-                united, link, plan, group, seq_len, alpha_intra=cfg.alpha_intra
+            lambda: make_combined_program(
+                self.backend,
+                united,
+                link,
+                plan,
+                group,
+                seq_len,
+                alpha_intra=cfg.alpha_intra,
             ),
         )

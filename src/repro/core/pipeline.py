@@ -167,17 +167,21 @@ class OptimizedLSTM:
         drs_style: str = "hardware",
         zero_prune_fraction: float = 0.37,
         precision: "Precision | str" = "fp64",
+        backend: str = "numpy",
     ) -> ExecutionConfig:
         """Resolve thresholds (explicit, by schedule index, or maxima)."""
         precision = Precision.parse(precision)
         if mode is ExecutionMode.BASELINE:
-            return ExecutionConfig(mode=mode, spec=self.spec, precision=precision)
+            return ExecutionConfig(
+                mode=mode, spec=self.spec, precision=precision, backend=backend
+            )
         if mode is ExecutionMode.ZERO_PRUNE:
             return ExecutionConfig(
                 mode=mode,
                 spec=self.spec,
                 zero_prune_fraction=zero_prune_fraction,
                 precision=precision,
+                backend=backend,
             )
         calibration = self._require_calibration(mode)
         if threshold_index is not None:
@@ -206,6 +210,7 @@ class OptimizedLSTM:
             drs_style=drs_style,
             spec=self.spec,
             precision=precision,
+            backend=backend,
         )
 
     def run(
@@ -218,6 +223,7 @@ class OptimizedLSTM:
         drs_style: str = "hardware",
         zero_prune_fraction: float = 0.37,
         precision: "Precision | str" = "fp64",
+        backend: str = "numpy",
         keep_traces: bool = False,
         keep_result: bool = False,
         recorder: "Recorder | None" = None,
@@ -249,6 +255,7 @@ class OptimizedLSTM:
             drs_style=drs_style,
             zero_prune_fraction=zero_prune_fraction,
             precision=precision,
+            backend=backend,
         )
         links = self.calibration.predicted_links if self.calibration is not None else None
         executor = LSTMExecutor(
@@ -272,6 +279,7 @@ class OptimizedLSTM:
                 batch=int(tokens.shape[0]),
                 seq_length=int(tokens.shape[-1]),
                 config={
+                    "backend": executor.backend,
                     "alpha_inter": config.alpha_inter,
                     "alpha_intra": config.alpha_intra,
                     "mts": config.mts,

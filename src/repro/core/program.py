@@ -256,7 +256,7 @@ class StepwiseProgram:
             else None
         )
 
-    def project(self, xs: np.ndarray) -> dict[str, np.ndarray]:
+    def project(self, xs: np.ndarray, exact: bool = True) -> dict[str, np.ndarray]:
         """Stage the per-gate input projections; returns planner views.
 
         The matmul is lifted to per-row GEMV dispatch exactly like the
@@ -265,6 +265,10 @@ class StepwiseProgram:
         independent of ``T``, ``B``, or chunk boundaries (the property the
         streaming runtime's chunked replay relies on). ``out=`` never
         changes bits relative to the allocating call.
+
+        ``exact`` exists for signature parity with the fused backend
+        programs (:mod:`repro.core.backends`) and is ignored: the numpy
+        lowering always projects exactly — it *is* the oracle.
         """
         xs_rows = xs[:, :, None, :]  # (B, T, 1, E): one GEMV per token
         for idx in range(4):

@@ -20,6 +20,17 @@ class ShapeError(ConfigurationError):
     """Tensor operands with incompatible shapes."""
 
 
+class BackendUnavailableError(ConfigurationError):
+    """A requested execution backend cannot run on this host.
+
+    Raised when :func:`repro.core.backends.resolve_backend` is asked for a
+    backend whose toolchain is missing — ``numba``/``torch`` not importable,
+    or no C compiler for the generated-C backend. The message carries the
+    per-backend reason so callers (CLI, benches) can skip cleanly instead
+    of crashing mid-run.
+    """
+
+
 class PlanError(ReproError):
     """An execution plan is internally inconsistent.
 

@@ -108,7 +108,11 @@ def generate_arrivals(spec: LoadSpec, vocab_size: int) -> list[Arrival]:
     Session starts are Poisson-by-thinning against the diurnal rate
     envelope; each session's length is bounded-Pareto and its tokens are
     uniform over the vocabulary, split into ``chunk_len`` submissions
-    spaced ``think_time_s`` apart. Returns arrivals sorted by time.
+    spaced ``think_time_s`` apart. Follow-up submissions whose think-time
+    offset lands at or past ``duration_s`` are dropped — every arrival in
+    the returned timeline falls inside the measurement window, so long
+    sessions starting near the end cannot stretch the run past its
+    nominal duration. Returns arrivals sorted by time.
     """
     if vocab_size <= 1:
         raise ConfigurationError(f"vocab_size must exceed 1, got {vocab_size}")
@@ -133,9 +137,12 @@ def generate_arrivals(spec: LoadSpec, vocab_size: int) -> list[Arrival]:
         sid = f"s{session_index:05d}"
         session_index += 1
         for k, start in enumerate(range(0, length, spec.chunk_len)):
+            t_k = t + k * spec.think_time_s
+            if k > 0 and t_k >= spec.duration_s:
+                break  # would land past the measurement window
             arrivals.append(
                 Arrival(
-                    time_s=t + k * spec.think_time_s,
+                    time_s=t_k,
                     session_id=sid,
                     tokens=tokens[start : start + spec.chunk_len],
                 )

@@ -117,7 +117,7 @@ class StreamTicket:
         self.session_id = session_id
         self.submitted_at = submitted_at
         self.result: StreamResult | None = None
-        self._parts: list[np.ndarray] = []
+        self._parts: list[tuple[int, np.ndarray]] = []
         self._remaining = n_chunks
         self._n_tokens = n_tokens
         self._callback: Callable[[StreamResult], None] | None = None
@@ -128,15 +128,18 @@ class StreamTicket:
         return self.result is not None
 
     def _complete_chunk(
-        self, logits: np.ndarray, per_timestep: bool, now: float
+        self, logits: np.ndarray, per_timestep: bool, now: float, chunk_index: int
     ) -> StreamResult | None:
-        self._parts.append(logits)
+        self._parts.append((chunk_index, logits))
         self._remaining -= 1
         if self._remaining > 0:
             return None
-        merged = (
-            np.concatenate(self._parts, axis=0) if per_timestep else self._parts[-1]
-        )
+        # Merge in submission order by explicit chunk index: the pooled
+        # head must read the *last* chunk's logits and per-timestep heads
+        # must concatenate chronologically, even if a scheduler ever
+        # completes chunks out of order.
+        parts = [part for _, part in sorted(self._parts, key=lambda item: item[0])]
+        merged = np.concatenate(parts, axis=0) if per_timestep else parts[-1]
         self.result = StreamResult(
             session_id=self.session_id,
             logits=merged,
@@ -157,6 +160,7 @@ class _Chunk:
     tokens: np.ndarray  # 1-D, 1 <= len <= chunk_len
     enqueued_at: float
     ticket: StreamTicket
+    chunk_index: int  # position within the owning submission
 
 
 class _Session:
@@ -388,6 +392,7 @@ class StreamingServer:
         self.stats = StreamingStats()
         self._tick_records: list[RunRecord] = []
         self._record_config = {
+            "backend": self.executor.backend,
             "alpha_inter": config.alpha_inter,
             "alpha_intra": config.alpha_intra,
             "mts": config.mts,
@@ -456,14 +461,22 @@ class StreamingServer:
                 f"admission queue full ({len(self._queue)}/{self.queue_limit} "
                 f"chunks queued, submission needs {n_chunks}); retry later"
             )
-        session = self.sessions.get_or_admit(session_id, now)  # may shed too
+        try:
+            session = self.sessions.get_or_admit(session_id, now)
+        except BackpressureError:
+            # A session-table shed drops the same n_chunks as a queue-full
+            # shed; count it identically so stats.shed_chunks covers every
+            # shed path.
+            self.stats.shed_chunks += n_chunks
+            raise
         ticket = StreamTicket(session_id, now, n_chunks, int(tokens.shape[0]))
-        for start in range(0, tokens.shape[0], self.chunk_len):
+        for index, start in enumerate(range(0, tokens.shape[0], self.chunk_len)):
             chunk = _Chunk(
                 session_id=session_id,
                 tokens=tokens[start : start + self.chunk_len],
                 enqueued_at=now,
                 ticket=ticket,
+                chunk_index=index,
             )
             self._queue.append(chunk)
         session.pending += n_chunks
@@ -550,7 +563,7 @@ class StreamingServer:
                 logits = logits_all[j]
             else:
                 logits = self._pooled_logits(session)
-            result = chunk.ticket._complete_chunk(logits, per_ts, now)
+            result = chunk.ticket._complete_chunk(logits, per_ts, now, chunk.chunk_index)
             if result is not None:
                 report.completed.append(result)
 

@@ -1,0 +1,270 @@
+"""Backend registry and fused-kernel lowering contracts.
+
+What :mod:`repro.core.backends` promises:
+
+* **Registry discipline.** Unknown names fail config validation; missing
+  toolchains fail resolution with
+  :class:`~repro.errors.BackendUnavailableError` carrying a reason, at
+  executor construction rather than mid-run; ``fused`` resolves to the
+  best available fused backend.
+
+* **The numpy oracle is untouched.** ``backend="numpy"`` stays
+  bit-identical to the frozen
+  :class:`~repro.core.reference.ReferenceExecutor` in all five modes.
+
+* **Fused numerics.** The generated-C backend agrees with the oracle at
+  fp64-roundoff tolerance in every mode, deterministically, with
+  backend-invariant plans (the inter level sees identical projections).
+
+* **Kernel twins.** The numba backend's pure-Python kernel body — kept
+  importable without numba — computes the same arithmetic as the fused
+  contract specifies, validated against an inline numpy step loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import LSTMConfig
+from repro.core import backend_numba, backend_torch, cgen
+from repro.core.backends import (
+    BACKEND_NAMES,
+    backend_availability,
+    backend_is_exact,
+    resolve_backend,
+    validate_backend_name,
+)
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.core.reference import ReferenceExecutor
+from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.nn.network import LSTMNetwork
+from repro.obs.recorder import Recorder
+from repro.runtime import StreamingServer
+
+VOCAB = 31
+CLASSES = 3
+
+#: Fused-vs-oracle tolerance; measured deviations sit at ~4e-16.
+TOLERANCE = 1e-9
+
+MODE_CONFIGS = {
+    ExecutionMode.BASELINE: {},
+    ExecutionMode.INTER: {"alpha_inter": 50.0, "mts": 3},
+    ExecutionMode.INTRA: {"alpha_intra": 0.4},
+    ExecutionMode.COMBINED: {"alpha_inter": 50.0, "alpha_intra": 0.4, "mts": 3},
+    ExecutionMode.ZERO_PRUNE: {},
+}
+
+needs_compiler = pytest.mark.skipif(
+    not cgen.compiler_available(), reason="no C compiler on this host"
+)
+
+
+def make_case(seed: int = 7, hidden: int = 16, layers: int = 2, seq: int = 12, batch: int = 5):
+    config = LSTMConfig(
+        hidden_size=hidden, num_layers=layers, seq_length=seq, input_size=hidden
+    )
+    network = LSTMNetwork(config, VOCAB, CLASSES, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    tokens = rng.integers(0, VOCAB, size=(batch, seq))
+    return network, tokens
+
+
+def mode_config(mode: ExecutionMode, backend: str = "numpy") -> ExecutionConfig:
+    return ExecutionConfig(mode=mode, backend=backend, **MODE_CONFIGS[mode])
+
+
+# ------------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_backend_names_and_exactness(self):
+        assert BACKEND_NAMES == ("numpy", "fused", "cgen", "numba", "torch")
+        assert backend_is_exact("numpy")
+        assert not any(backend_is_exact(n) for n in ("cgen", "numba", "torch"))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            validate_backend_name("cuda")
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            ExecutionConfig(backend="cuda")
+
+    def test_numpy_always_resolves(self):
+        assert resolve_backend("numpy") == "numpy"
+        availability = backend_availability()
+        assert availability["numpy"] == (True, "")
+
+    @needs_compiler
+    def test_fused_prefers_cgen(self):
+        assert resolve_backend("fused") == "cgen"
+
+    def test_unavailable_backends_raise_with_reason(self):
+        for name, module in (("numba", backend_numba), ("torch", backend_torch)):
+            if module.available():
+                continue
+            assert module.unavailable_reason()
+            with pytest.raises(BackendUnavailableError, match=name):
+                resolve_backend(name)
+
+    def test_interpreted_execution_is_numpy_only(self):
+        network, _ = make_case()
+        config = mode_config(ExecutionMode.BASELINE, backend="fused")
+        with pytest.raises(ConfigurationError, match="compile=True"):
+            LSTMExecutor(network, config, compile=False)
+
+    @needs_compiler
+    def test_compact_drs_gemm_requires_the_oracle(self):
+        network, _ = make_case()
+        config = ExecutionConfig(
+            mode=ExecutionMode.INTRA,
+            alpha_intra=0.4,
+            compact_drs_gemm=True,
+            backend="fused",
+        )
+        with pytest.raises(ConfigurationError, match="compact_drs_gemm"):
+            LSTMExecutor(network, config)
+
+
+# ------------------------------------------------------------------- numerics
+
+
+@needs_compiler
+class TestFusedNumerics:
+    @pytest.mark.parametrize("mode", list(MODE_CONFIGS), ids=lambda m: m.value)
+    def test_numpy_oracle_is_bit_identical(self, mode):
+        network, tokens = make_case()
+        out_ref = ReferenceExecutor(network, mode_config(mode)).run_batch(tokens)
+        out_numpy = LSTMExecutor(network, mode_config(mode)).run_batch(tokens)
+        assert np.array_equal(out_numpy.logits, out_ref.logits)
+
+    @pytest.mark.parametrize("mode", list(MODE_CONFIGS), ids=lambda m: m.value)
+    def test_fused_agrees_at_tolerance(self, mode):
+        network, tokens = make_case()
+        out_ref = ReferenceExecutor(network, mode_config(mode)).run_batch(tokens)
+        fused = LSTMExecutor(network, mode_config(mode, backend="fused"))
+        out_fused = fused.run_batch(tokens)
+        assert fused.backend == "cgen"
+        assert np.abs(out_fused.logits - out_ref.logits).max() <= TOLERANCE
+        assert np.array_equal(
+            np.asarray(out_fused.predictions()), np.asarray(out_ref.predictions())
+        )
+
+    def test_loading_the_kernel_keeps_ieee_subnormals(self):
+        """The fast-math build must not ship crtfastmath's FTZ/DAZ
+        constructor: loading the .so may never flip process FPU state."""
+        cgen.load_library()
+        smallest_subnormal = np.float64(5e-324)
+        assert smallest_subnormal * 1.0 != 0.0
+        assert np.float64(2.2250738585072014e-308) / 2.0 != 0.0
+
+    def test_fused_runs_are_deterministic(self):
+        network, tokens = make_case()
+        config = mode_config(ExecutionMode.INTRA, backend="fused")
+        first = LSTMExecutor(network, config).run_batch(tokens)
+        second = LSTMExecutor(network, config).run_batch(tokens)
+        assert np.array_equal(first.logits, second.logits)
+
+    @pytest.mark.parametrize(
+        "mode", [ExecutionMode.INTER, ExecutionMode.COMBINED], ids=lambda m: m.value
+    )
+    def test_plans_are_backend_invariant(self, mode):
+        """The inter planner must see identical projection bits, so
+        breakpoints and tissue schedules cannot depend on the backend."""
+        network, tokens = make_case()
+        out_numpy = LSTMExecutor(network, mode_config(mode)).run_batch(tokens)
+        out_fused = LSTMExecutor(
+            network, mode_config(mode, backend="fused")
+        ).run_batch(tokens)
+        for plan_a, plan_b in zip(out_numpy.plans, out_fused.plans):
+            for layer_a, layer_b in zip(plan_a.layers, plan_b.layers):
+                assert layer_a.breakpoints == layer_b.breakpoints
+                assert layer_a.sublayer_lengths == layer_b.sublayer_lengths
+
+    def test_recorder_attributes_the_resolved_backend(self):
+        network, tokens = make_case()
+        recorder = Recorder()
+        executor = LSTMExecutor(
+            network, mode_config(ExecutionMode.INTRA, backend="fused"),
+            recorder=recorder,
+        )
+        executor.run_batch(tokens)
+        record = recorder.records[-1].to_dict()
+        assert record["config"]["backend"] == "cgen"
+
+    def test_streaming_under_the_fused_backend(self):
+        """A fused streaming server tracks the numpy one at tolerance."""
+        config = LSTMConfig(hidden_size=16, num_layers=2, seq_length=16, input_size=16)
+        network = LSTMNetwork(
+            config, VOCAB, CLASSES, seed=3, per_timestep_head=True, head_pool=1
+        )
+        rng = np.random.default_rng(13)
+        tokens = rng.integers(0, VOCAB, size=11)
+
+        def serve(backend: str) -> np.ndarray:
+            server = StreamingServer(
+                network,
+                ExecutionConfig(
+                    mode=ExecutionMode.INTRA, alpha_intra=0.4, backend=backend
+                ),
+                chunk_len=4,
+                clock=lambda: 0.0,
+            )
+            ticket = server.submit("s", tokens, now=0.0)
+            server.drain(now=0.0)
+            return ticket.result.logits
+
+        delta = np.abs(serve("fused") - serve("numpy")).max()
+        assert delta <= TOLERANCE
+
+
+# ---------------------------------------------------------------- kernel twin
+
+
+class TestNumbaKernelBody:
+    def test_pure_python_kernel_matches_numpy_step_loop(self):
+        """The numba kernel body (run un-jitted) computes the fused
+        contract: o-gate first, DRS zeroing, f/i/g skipped on masked rows."""
+        rng = np.random.default_rng(5)
+        batch, seq_len, hidden = 2, 4, 6
+        alpha = 0.45
+        proj = rng.normal(size=(batch, seq_len, 4 * hidden))
+        u = rng.normal(scale=0.3, size=(4 * hidden, hidden))
+        bias = rng.normal(size=4 * hidden)
+        h_bar = np.tanh(rng.normal(size=hidden))
+        c_bar = rng.normal(size=hidden)
+        resets = np.zeros((seq_len, batch), dtype=np.uint8)
+        resets[2, 1] = 1
+
+        h = np.zeros((batch, hidden))
+        c = np.zeros((batch, hidden))
+        hs = np.empty((batch, seq_len, hidden))
+        cs = np.empty((batch, seq_len, hidden))
+        masks = np.zeros((batch, seq_len, hidden), dtype=np.uint8)
+        backend_numba.stepwise_kernel(
+            proj, u, bias, h, c, hs, cs, masks, resets, h_bar, c_bar,
+            alpha, True, True,
+        )
+
+        def sigmoid(x):
+            return 1.0 / (1.0 + np.exp(-x))
+
+        h_ref = np.zeros((batch, hidden))
+        c_ref = np.zeros((batch, hidden))
+        for t in range(seq_len):
+            reset = resets[t].astype(bool)
+            h_ref[reset] = h_bar
+            c_ref[reset] = c_bar
+            pre = proj[:, t] + h_ref @ u.T + bias
+            o = sigmoid(pre[:, 3 * hidden :])
+            mask = o < alpha
+            f = sigmoid(pre[:, :hidden])
+            i = sigmoid(pre[:, hidden : 2 * hidden])
+            g = np.tanh(pre[:, 2 * hidden : 3 * hidden])
+            c_ref = np.where(mask, 0.0, f * c_ref + i * g)
+            h_ref = np.where(mask, 0.0, o * np.tanh(c_ref))
+            assert np.array_equal(masks[:, t].astype(bool), mask)
+            assert np.abs(hs[:, t] - h_ref).max() <= 1e-12
+            assert np.abs(cs[:, t] - c_ref).max() <= 1e-12
+        assert np.abs(h - h_ref).max() <= 1e-12
+        assert np.abs(c - c_ref).max() <= 1e-12

@@ -1,0 +1,61 @@
+"""GateSet: uniform failure rendering and stream routing.
+
+The ``exit_code`` contract: *all* gate output — failure lines and the
+pass banner — goes to the caller-supplied stream (stderr by default), so
+CI steps that capture a single stream see the whole verdict and nothing
+leaks to stdout interleaved with benchmark tables.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.bench.gates import GateSet
+
+
+class TestGateChecks:
+    def test_bounds_and_pass_state(self):
+        gates = GateSet("demo")
+        assert gates.require_at_least("floor", 2.0, 1.5)
+        assert gates.require_at_most("ceiling", 0.3, 0.5)
+        assert gates.require_true("invariant", True)
+        assert gates.passed
+        assert gates.failures == []
+        assert gates.as_dict()["passed"] is True
+
+    def test_failure_line_format(self):
+        gates = GateSet("demo")
+        gates.require_at_least("speedup", 0.5, 1.5, detail="b=1 geometry")
+        assert not gates.passed
+        assert gates.failures == [
+            "GATE FAIL demo/speedup: measured 0.5 vs bound 1.5 (b=1 geometry)"
+        ]
+
+
+class TestExitCodeStream:
+    def test_failures_route_to_injected_stream(self):
+        gates = GateSet("demo")
+        gates.require_true("broken", False)
+        stream = io.StringIO()
+        assert gates.exit_code(stream=stream) == 1
+        assert stream.getvalue() == "GATE FAIL demo/broken: measured False vs bound True\n"
+
+    def test_pass_banner_routes_to_injected_stream(self, capsys):
+        """The success line honors the stream argument too (it used to
+        print to stdout unconditionally)."""
+        gates = GateSet("demo")
+        gates.require_true("fine", True)
+        stream = io.StringIO()
+        assert gates.exit_code(stream=stream) == 0
+        assert stream.getvalue() == "demo gates passed\n"
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_default_stream_is_stderr(self, capsys):
+        gates = GateSet("demo")
+        gates.require_true("fine", True)
+        assert gates.exit_code() == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "demo gates passed\n"

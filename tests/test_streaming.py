@@ -256,6 +256,60 @@ class TestBackpressure:
         server.submit("s", rng.integers(0, VOCAB, size=3), now=0.0)  # fits
         assert server.queue_depth == 3
 
+    def test_session_table_shed_counts_chunks(self):
+        """A full-table shed increments shed_chunks like a queue shed."""
+        network = make_network(per_timestep_head=True)
+        rng = np.random.default_rng(9)
+        server = make_server(network, max_sessions=1)
+        server.submit("busy", rng.integers(0, VOCAB, size=4), now=0.0)
+        assert server.stats.shed_chunks == 0
+        with pytest.raises(BackpressureError):
+            server.submit("other", rng.integers(0, VOCAB, size=8), now=0.0)
+        assert server.stats.shed_chunks == 2  # the shed submission's 2 chunks
+        assert server.queue_depth == 1  # only "busy"'s chunk remains
+
+
+# ------------------------------------------------------------- ticket merging
+
+
+class TestTicketMerge:
+    def _ticket(self, n_chunks: int) -> "StreamTicket":
+        from repro.runtime.streaming import StreamTicket
+
+        return StreamTicket("s", 0.0, n_chunks=n_chunks, n_tokens=3 * n_chunks)
+
+    def test_pooled_merge_reads_highest_chunk_index(self):
+        """Pooled result is the *last* chunk's logits by index, not by
+        completion order."""
+        ticket = self._ticket(3)
+        first, middle, last = (np.full((1, 2), v) for v in (0.0, 1.0, 2.0))
+        assert ticket._complete_chunk(last, False, 1.0, 2) is None
+        assert ticket._complete_chunk(first, False, 1.0, 0) is None
+        result = ticket._complete_chunk(middle, False, 1.0, 1)
+        assert result is not None
+        assert np.array_equal(result.logits, last)
+
+    def test_per_timestep_merge_orders_by_chunk_index(self):
+        ticket = self._ticket(3)
+        parts = [np.full((2, 2), v) for v in (0.0, 1.0, 2.0)]
+        ticket._complete_chunk(parts[1], True, 1.0, 1)
+        ticket._complete_chunk(parts[2], True, 1.0, 2)
+        result = ticket._complete_chunk(parts[0], True, 1.0, 0)
+        assert np.array_equal(result.logits, np.concatenate(parts, axis=0))
+
+    def test_multi_chunk_pooled_submission_matches_reference(self):
+        """One pooled-head submission spanning several chunks resolves to
+        the full-sequence pooled logits."""
+        network = make_network(per_timestep_head=False)
+        config = ExecutionConfig(**STREAM_MODES["baseline"])
+        rng = np.random.default_rng(31)
+        tokens = rng.integers(0, VOCAB, size=10)  # 3 chunks at chunk_len=4
+        server = make_server(network)
+        ticket = server.submit("s", tokens, now=0.0)
+        server.drain(now=0.0)
+        expected = ReferenceExecutor(network, config).run_batch(tokens[None]).logits[0]
+        assert np.array_equal(ticket.result.logits, expected)
+
 
 # ------------------------------------------------------------- tick batching
 
@@ -390,6 +444,34 @@ class TestLoadgen:
             assert np.array_equal(a.tokens, b.tokens)
         times = [a.time_s for a in first]
         assert times == sorted(times)
+
+    def test_followup_chunks_never_land_past_duration(self):
+        """Long sessions near the window's end are truncated, not allowed
+        to schedule think-time follow-ups past duration_s."""
+        spec = LoadSpec(
+            duration_s=0.5,
+            session_rate=30.0,
+            seed=3,
+            chunk_len=2,
+            think_time_s=0.2,
+            session_len_min=16,
+            session_len_max=64,
+        )
+        arrivals = generate_arrivals(spec, vocab_size=VOCAB)
+        assert arrivals
+        assert max(a.time_s for a in arrivals) < spec.duration_s
+        # Sanity: the spec's geometry would overhang without the clamp —
+        # some session has enough chunks to reach past the window.
+        starts = {}
+        for a in arrivals:
+            starts.setdefault(a.session_id, a.time_s)
+        would_overhang = any(
+            starts[sid]
+            + (spec.session_len_min // spec.chunk_len - 1) * spec.think_time_s
+            >= spec.duration_s
+            for sid in starts
+        )
+        assert would_overhang
 
     def test_open_loop_overload_sheds_and_replays_identically(self):
         network = make_network(per_timestep_head=True)
