@@ -8,6 +8,7 @@ Seven subcommands::
     repro figure fig14 --apps MR,PTB   # regenerate a paper figure
     repro serve-bench --workers 2 --sequences 16 --mode combined
     repro serve-stream --mode intra --duration-s 2 --record stream.jsonl
+    repro serve-zoo --tenant MR:2:fp64 --tenant MR:1:int8 --duration-s 2
     repro trace record MR --out runs.jsonl --chrome trace.json
     repro trace summarize runs.jsonl
     repro trace diff base.jsonl other.jsonl
@@ -176,6 +177,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
+    )
+
+    zoo = sub.add_parser(
+        "serve-zoo",
+        help="serve N tenants over one deduplicated weight arena and shared "
+        "program/plan caches under QoS-weighted scheduling",
+    )
+    zoo.add_argument(
+        "--tenant",
+        action="append",
+        dest="tenants",
+        metavar="APP[:WEIGHT[:PRECISION]]",
+        default=None,
+        help="add one tenant bound to a Table II app (repeatable); WEIGHT "
+        "is its QoS share (default 1), PRECISION its weight storage "
+        "(default fp64). Tenants of the same app share arena segments. "
+        "Default: MR:2:fp64 MR:1:fp64 MR:1:int8",
+    )
+    zoo.add_argument("--duration-s", type=float, default=2.0,
+                     help="arrival window (virtual seconds)")
+    zoo.add_argument("--session-rate", type=float, default=8.0,
+                     help="mean request starts per second across all tenants")
+    zoo.add_argument("--max-batch", type=int, default=8,
+                     help="largest batch served to one tenant per tick")
+    zoo.add_argument("--queue-limit", type=int, default=64,
+                     help="per-tenant admission bound (backpressure window)")
+    zoo.add_argument("--tick-interval-ms", type=float, default=2.0,
+                     help="virtual tick cadence")
+    zoo.add_argument("--seed", type=int, default=11)
+    zoo.add_argument(
+        "--record", default=None,
+        help="write the merged zoo-window RunRecord (per-tenant cache "
+        "attribution under namespaced keys) to this JSONL path",
     )
 
     trace = sub.add_parser(
@@ -448,6 +482,129 @@ def _cmd_serve_stream(args) -> int:
     return 0
 
 
+def _cmd_serve_zoo(args) -> int:
+    from repro.config import get_app
+    from repro.nn.model_zoo import build_calibrated_network
+    from repro.nn.quantize import PRECISIONS
+    from repro.obs import Recorder, write_jsonl
+    from repro.runtime import (
+        LoadSpec,
+        OperatingPoint,
+        TenantSpec,
+        ZooServer,
+        generate_tenant_arrivals,
+        run_zoo_open_loop,
+    )
+
+    raw = args.tenants or ["MR:2:fp64", "MR:1:fp64", "MR:1:int8"]
+    parsed: list[tuple[str, float, str]] = []
+    for entry in raw:
+        parts = entry.split(":")
+        if not 1 <= len(parts) <= 3:
+            raise ConfigurationError(
+                f"tenant spec {entry!r} is not APP[:WEIGHT[:PRECISION]]"
+            )
+        app_name = parts[0]
+        try:
+            weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+        except ValueError:
+            raise ConfigurationError(
+                f"tenant weight in {entry!r} is not a number"
+            ) from None
+        precision = parts[2] if len(parts) > 2 and parts[2] else "fp64"
+        if precision not in PRECISIONS:
+            raise ConfigurationError(
+                f"unknown precision {precision!r} in tenant spec {entry!r}; "
+                f"known: {', '.join(PRECISIONS)}"
+            )
+        parsed.append((app_name, weight, precision))
+
+    # One network build per distinct app: tenants of the same app submit
+    # the *same* weights to the registry, which is what deduplicates them.
+    networks = {}
+    for app_name, _, _ in parsed:
+        if app_name not in networks:
+            app = get_app(app_name)
+            print(f"Building {app.name} ...", file=sys.stderr)
+            networks[app_name] = (app, build_calibrated_network(app, seed=args.seed))
+
+    recorder = Recorder()
+    with ZooServer(recorder=recorder) as server:
+        weights_by_name: dict[str, float] = {}
+        vocab_by_name: dict[str, int] = {}
+        for index, (app_name, weight, precision) in enumerate(parsed):
+            app, network = networks[app_name]
+            name = f"t{index}-{app_name.lower()}-{precision}"
+            server.add_tenant(
+                TenantSpec(
+                    name=name,
+                    model=app_name,
+                    weight=weight,
+                    point=OperatingPoint(precision=precision),
+                    max_batch=args.max_batch,
+                    queue_limit=args.queue_limit,
+                ),
+                network,
+            )
+            weights_by_name[name] = weight
+            vocab_by_name[name] = app.vocab_size
+        spec = LoadSpec(
+            duration_s=args.duration_s,
+            session_rate=args.session_rate,
+            seed=args.seed,
+            session_len_min=8,
+            session_len_max=32,
+        )
+        arrivals = generate_tenant_arrivals(spec, weights_by_name, vocab_by_name)
+        print(
+            f"Serving {len(arrivals)} scheduled requests across "
+            f"{len(parsed)} tenant(s) ...",
+            file=sys.stderr,
+        )
+        report = run_zoo_open_loop(
+            server, arrivals, tick_interval_s=args.tick_interval_ms / 1e3
+        )
+        overall = report.overall()
+        print(
+            f"served {overall.completed_submissions}/{overall.offered_submissions} "
+            f"requests ({overall.completed_tokens} tokens) over "
+            f"{report.duration_s:.2f} virtual s in {server.ticks} ticks"
+        )
+        for name in server.tenant_names():
+            tenant_report = report.per_tenant[name]
+            point = server.tenant_point(name)
+            print(
+                f"  {name}: weight {weights_by_name[name]:g}, "
+                f"{tenant_report.completed_submissions} served / "
+                f"{tenant_report.shed_submissions} shed, "
+                f"p50 {tenant_report.percentile(50) * 1e3:.1f} ms, "
+                f"p99 {tenant_report.percentile(99) * 1e3:.1f} ms "
+                f"[{point.precision}]"
+            )
+        stats = server.registry.stats
+        print(
+            f"arena: {stats.published_segments} segment(s), "
+            f"{stats.published_bytes / 1e6:.2f} MB published vs "
+            f"{stats.naive_bytes / 1e6:.2f} MB naive "
+            f"({stats.dedup_ratio:.2f}x ratio, {stats.dedup_hits} dedup hits)"
+        )
+        program = server.program_cache.stats.as_dict()
+        plan = server.plan_cache.stats.as_dict()
+        print(
+            f"shared caches: program {program['program_hits']} hits / "
+            f"{program['program_misses']} misses, "
+            f"plan {plan['plan_hits']} hits / {plan['plan_misses']} misses"
+        )
+        if args.record:
+            merged = server.merged_record()
+            if merged is None:
+                print("repro: error: no ticks were recorded", file=sys.stderr)
+                return 1
+            write_jsonl([merged], args.record)
+            print(f"wrote merged zoo-window record to {args.record}")
+    return 0
+
+
 def _cmd_trace_record(args) -> int:
     from repro.core.pipeline import OptimizedLSTM
     from repro.obs import Recorder, write_chrome_trace, write_jsonl
@@ -521,6 +678,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "serve-bench": _cmd_serve_bench,
     "serve-stream": _cmd_serve_stream,
+    "serve-zoo": _cmd_serve_zoo,
     "trace": _cmd_trace,
 }
 

@@ -278,6 +278,70 @@ def sweep_precision_thresholds(
     return points
 
 
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One Pareto-optimal operating point of the joint sweep.
+
+    The online UO control loop (:mod:`repro.runtime.controller`) walks a
+    list of these, ordered most-accurate first, stepping toward the fast
+    end under latency pressure and back under accuracy pressure.
+    """
+
+    alpha_inter: float
+    alpha_intra: float
+    precision: str
+    accuracy: float
+    mean_time: float
+    weight_bytes_moved: float
+    threshold_index: int
+
+    def as_dict(self) -> dict:
+        """JSON form (the serve-zoo CLI and bench reports embed it)."""
+        return {
+            "alpha_inter": self.alpha_inter,
+            "alpha_intra": self.alpha_intra,
+            "precision": self.precision,
+            "accuracy": self.accuracy,
+            "mean_time": self.mean_time,
+            "weight_bytes_moved": self.weight_bytes_moved,
+            "threshold_index": self.threshold_index,
+        }
+
+
+def export_frontier(points: Sequence[PrecisionSweepPoint]) -> list[FrontierPoint]:
+    """Pareto frontier of a joint sweep, ordered most-accurate first.
+
+    A point survives only if no other point is at least as accurate *and*
+    strictly faster — the dominated interior of the (accuracy, latency)
+    cloud is useless to a controller, which needs every step along the
+    list to actually trade accuracy for speed. Ties in both coordinates
+    keep the first occurrence. The result is strictly decreasing in
+    accuracy and strictly decreasing in ``mean_time``, so index ``i + 1``
+    is always faster and never more accurate than index ``i``.
+    """
+    if not points:
+        raise CalibrationError("cannot export a frontier from an empty sweep")
+    ordered = sorted(points, key=lambda p: (-p.accuracy, p.mean_time))
+    frontier: list[FrontierPoint] = []
+    best_time = float("inf")
+    for point in ordered:
+        if point.mean_time >= best_time:
+            continue  # dominated: something at least as accurate is faster
+        best_time = point.mean_time
+        frontier.append(
+            FrontierPoint(
+                alpha_inter=point.alpha_inter,
+                alpha_intra=point.alpha_intra,
+                precision=point.precision,
+                accuracy=point.accuracy,
+                mean_time=point.mean_time,
+                weight_bytes_moved=point.weight_bytes_moved,
+                threshold_index=point.threshold_index,
+            )
+        )
+    return frontier
+
+
 def accuracy_guided_precision(
     points: Sequence[PrecisionSweepPoint], target_accuracy: float
 ) -> PrecisionSweepPoint:

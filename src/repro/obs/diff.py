@@ -79,6 +79,43 @@ def diff_runs(base: RunRecord, other: RunRecord) -> RunDiff:
     return RunDiff(base=base, other=other, kernel_deltas=deltas)
 
 
+def _split_cache_groups(
+    cache: dict[str, int],
+) -> tuple[dict[str, int], dict[str, dict[str, int]]]:
+    """Separate flat cache counters from ``group/metric`` namespaced ones.
+
+    Multi-tenant merged records (:func:`repro.obs.merge.merge_run_records`
+    with ``group_cache_by_label``) carry per-tenant attribution as keys
+    like ``tenantA/program_hits``; single-run records carry flat keys.
+    """
+    flat: dict[str, int] = {}
+    groups: dict[str, dict[str, int]] = {}
+    for key, value in cache.items():
+        if "/" in key:
+            group, metric = key.rsplit("/", 1)
+            groups.setdefault(group, {})[metric] = value
+        else:
+            flat[key] = value
+    return flat, groups
+
+
+def _cache_group_table(groups: dict[str, dict[str, int]], title: str) -> str:
+    """Aligned per-group (tenant/model) cache-counter table."""
+    from repro.bench.reporting import format_table
+
+    metrics: list[str] = []
+    for counters in groups.values():
+        for metric in counters:
+            if metric not in metrics:
+                metrics.append(metric)
+    metrics.sort()
+    rows = [
+        (group, *(str(groups[group].get(metric, 0)) for metric in metrics))
+        for group in sorted(groups)
+    ]
+    return format_table(["Group", *metrics], rows, title=title)
+
+
 def format_run_summary(record: RunRecord) -> str:
     """Human-readable summary of one run record."""
     from repro.bench.reporting import format_table
@@ -105,8 +142,14 @@ def format_run_summary(record: RunRecord) -> str:
         f"skip_fraction={counters['skip_fraction']:.1%}"
     )
     if record.cache is not None:
-        cache_bits = [f"{k}={v}" for k, v in sorted(record.cache.items())]
-        lines.append("plan cache delta: " + "  ".join(cache_bits))
+        flat, groups = _split_cache_groups(record.cache)
+        if flat:
+            cache_bits = [f"{k}={v}" for k, v in sorted(flat.items())]
+            lines.append("plan cache delta: " + "  ".join(cache_bits))
+        if groups:
+            lines.append(
+                _cache_group_table(groups, title="Per-tenant cache hit/miss delta")
+            )
     weight_bytes = record.weight_bytes_totals()
     if weight_bytes["fp64"] > 0:
         precision = record.config.get("precision", "fp64")
@@ -173,6 +216,36 @@ def format_diff(diff: RunDiff) -> str:
             f"weight bytes moved: {base_wb['moved'] / 1e6:.3f}MB -> "
             f"{other_wb['moved'] / 1e6:.3f}MB "
             f"({base_wb['moved'] / other_wb['moved']:.2f}x reduction)"
+        )
+    base_groups = _split_cache_groups(base.cache or {})[1]
+    other_groups = _split_cache_groups(other.cache or {})[1]
+    if base_groups or other_groups:
+        from repro.bench.reporting import format_table
+
+        metrics: list[str] = []
+        for groups in (base_groups, other_groups):
+            for counters in groups.values():
+                for metric in counters:
+                    if metric not in metrics:
+                        metrics.append(metric)
+        metrics.sort()
+        cache_rows = [
+            (
+                group,
+                *(
+                    f"{base_groups.get(group, {}).get(metric, 0)} -> "
+                    f"{other_groups.get(group, {}).get(metric, 0)}"
+                    for metric in metrics
+                ),
+            )
+            for group in sorted(set(base_groups) | set(other_groups))
+        ]
+        lines.append(
+            format_table(
+                ["Group", *metrics],
+                cache_rows,
+                title="Per-tenant cache movement (base -> opt)",
+            )
         )
     rows = [
         (

@@ -20,6 +20,8 @@ def merge_run_records(
     label: str = "fleet",
     reindex: bool = False,
     allow_varying_seq_length: bool = False,
+    allow_varying_config: bool = False,
+    group_cache_by_label: bool = False,
 ) -> RunRecord:
     """Merge shard records into one run record.
 
@@ -40,6 +42,20 @@ def merge_run_records(
             the maximum. Timing keys still sum key-wise, which is what
             gives the merged record its total ``queue_wait_s``
             attribution.
+        allow_varying_config: Permit shards with differing ``config`` —
+            multi-tenant windows merge ticks of many tenants (different
+            alphas, precisions, models), and an SLO controller changes a
+            tenant's configuration mid-window. The merged config keeps
+            only the keys every record agrees on and lists the disputed
+            key names under ``"varied"``. ``mode`` is allowed to differ
+            too (the merged record takes the first); a zoo legitimately
+            mixes BASELINE and INTRA tenants.
+        group_cache_by_label: Namespace each record's cache counters by
+            its label before summing — key ``plan_hits`` of a record
+            labelled ``tenantA`` lands as ``tenantA/plan_hits``. This is
+            what gives a merged multi-tenant record its per-tenant cache
+            hit/miss attribution while staying inside the open
+            ``str -> number`` cache mapping of ``repro.obs/run/v1``.
 
     Returns:
         The merged record, with sequences sorted by ``seq_index``.
@@ -47,9 +63,11 @@ def merge_run_records(
     if not records:
         raise ConfigurationError("cannot merge an empty list of run records")
     first = records[0]
-    shared_attrs = ("mode", "spec") if allow_varying_seq_length else (
-        "mode", "spec", "seq_length"
-    )
+    shared_attrs = ["spec"]
+    if not allow_varying_config:
+        shared_attrs.append("mode")
+    if not allow_varying_seq_length:
+        shared_attrs.append("seq_length")
     for other in records[1:]:
         for attr in shared_attrs:
             if getattr(other, attr) != getattr(first, attr):
@@ -57,8 +75,26 @@ def merge_run_records(
                     f"cannot merge run records with differing {attr}: "
                     f"{getattr(first, attr)!r} vs {getattr(other, attr)!r}"
                 )
-        if other.config != first.config:
+        if not allow_varying_config and other.config != first.config:
             raise ConfigurationError("cannot merge run records with differing config")
+    if allow_varying_config:
+        merged_config: dict = {}
+        varied: list[str] = []
+        keys: list[str] = []
+        for record in records:
+            for key in record.config:
+                if key not in keys:
+                    keys.append(key)
+        for key in keys:
+            values = [record.config.get(key) for record in records]
+            if all(value == values[0] for value in values[1:]):
+                merged_config[key] = values[0]
+            else:
+                varied.append(key)
+        if varied:
+            merged_config["varied"] = varied
+    else:
+        merged_config = dict(first.config)
 
     sequences = []
     kernels = []
@@ -86,6 +122,8 @@ def merge_run_records(
             if cache is None:
                 cache = {}
             for key, value in record.cache.items():
+                if group_cache_by_label:
+                    key = f"{record.label or '(unlabelled)'}/{key}"
                 cache[key] = cache.get(key, 0) + value
     sequences.sort(key=lambda seq: seq.seq_index)
     kernels.sort(key=lambda event: (event.seq_index, event.index))
@@ -99,7 +137,7 @@ def merge_run_records(
             if allow_varying_seq_length
             else first.seq_length
         ),
-        config=dict(first.config),
+        config=merged_config,
         timing=timing,
         simulated=simulated,
         cache=cache,

@@ -423,6 +423,138 @@ class WeightArena:
         return cells
 
 
+@dataclass
+class ArenaRegistryStats:
+    """Dedup accounting of an :class:`ArenaRegistry`.
+
+    ``naive_bytes`` is what per-tenant publishing would have copied (every
+    acquire pays its arena's full size); ``published_bytes`` is what the
+    registry actually holds. Their ratio is the multi-tenant memory gate.
+    """
+
+    acquires: int = 0
+    dedup_hits: int = 0
+    published_segments: int = 0
+    published_bytes: int = 0
+    naive_bytes: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Published bytes over naive per-acquire bytes (1.0 = no sharing)."""
+        if self.naive_bytes <= 0:
+            return 1.0
+        return self.published_bytes / self.naive_bytes
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat form for bench reports."""
+        return {
+            "acquires": self.acquires,
+            "dedup_hits": self.dedup_hits,
+            "published_segments": self.published_segments,
+            "published_bytes": self.published_bytes,
+            "naive_bytes": self.naive_bytes,
+            "dedup_ratio": self.dedup_ratio,
+        }
+
+
+class _RegistryVariant:
+    """One refcounted published arena (a precision variant of one network)."""
+
+    __slots__ = ("arena", "refcount")
+
+    def __init__(self, arena: WeightArena) -> None:
+        self.arena = arena
+        self.refcount = 0
+
+
+class ArenaRegistry:
+    """Deduplicating, refcounted pool of published weight arenas.
+
+    Entries are keyed by the *source* network's
+    :func:`~repro.core.plan.fingerprint_network` — the fp64 fingerprint —
+    with precision variants nested under it. Re-publishing a
+    precision sibling (the same network at int8 after fp64, or a second
+    int8 tenant of an already-served model) therefore reuses the existing
+    fingerprint entry instead of publishing a second segment: an fp64 and
+    an int8 publish of one network share one key path, and only a *new*
+    (fingerprint, precision) variant copies bytes. Each variant's
+    manifest keeps the dequantized-network fingerprint, so downstream
+    plan/program caches stay keyed per precision exactly as before.
+
+    :meth:`acquire` bumps a per-variant refcount; :meth:`release` drops
+    it and unlinks the segment at zero. The registry is a context
+    manager — exiting tears down every variant it still holds.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, _RegistryVariant]] = {}
+        self.stats = ArenaRegistryStats()
+
+    def __len__(self) -> int:
+        return sum(len(variants) for variants in self._entries.values())
+
+    def acquire(
+        self, network: LSTMNetwork, precision: "Precision | str" = "fp64"
+    ) -> WeightArena:
+        """Return the shared arena for ``(network, precision)``, publishing once.
+
+        The first acquire of a variant publishes; every later acquire of
+        the same source fingerprint and precision attaches to the same
+        segment and only bumps the refcount.
+        """
+        precision = Precision.parse(precision)
+        source_fp = fingerprint_network(network)
+        variants = self._entries.setdefault(source_fp, {})
+        variant = variants.get(precision.tag)
+        self.stats.acquires += 1
+        if variant is None:
+            variant = _RegistryVariant(WeightArena.publish(network, precision))
+            variants[precision.tag] = variant
+            self.stats.published_segments += 1
+            self.stats.published_bytes += variant.arena.manifest.total_bytes
+        else:
+            self.stats.dedup_hits += 1
+        self.stats.naive_bytes += variant.arena.manifest.total_bytes
+        variant.refcount += 1
+        return variant.arena
+
+    def release(self, arena: WeightArena) -> None:
+        """Drop one reference; unlink the segment when the last one goes."""
+        for source_fp, variants in self._entries.items():
+            for tag, variant in variants.items():
+                if variant.arena is not arena:
+                    continue
+                variant.refcount -= 1
+                if variant.refcount <= 0:
+                    self.stats.published_bytes -= arena.manifest.total_bytes
+                    self.stats.published_segments -= 1
+                    arena.close()
+                    arena.unlink()
+                    del variants[tag]
+                    if not variants:
+                        del self._entries[source_fp]
+                return
+        raise RuntimeStateError("arena was not acquired from this registry")
+
+    def variants(self, network: LSTMNetwork) -> tuple[str, ...]:
+        """Precision tags currently published under ``network``'s fingerprint."""
+        return tuple(sorted(self._entries.get(fingerprint_network(network), ())))
+
+    def close(self) -> None:
+        """Unlink every segment still held (idempotent)."""
+        for variants in self._entries.values():
+            for variant in variants.values():
+                variant.arena.close()
+                variant.arena.unlink()
+        self._entries.clear()
+
+    def __enter__(self) -> "ArenaRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def leaked_segments(shm_dir: str = "/dev/shm") -> list[str]:
     """Names of repro arena segments still present on this host.
 

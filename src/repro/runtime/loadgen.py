@@ -151,6 +151,98 @@ def generate_arrivals(spec: LoadSpec, vocab_size: int) -> list[Arrival]:
     return arrivals
 
 
+@dataclass(frozen=True)
+class TenantArrival:
+    """One scheduled whole-sequence request for one tenant.
+
+    The multi-tenant runtime serves whole sequences (structural planning
+    needs full-sequence relevance), so unlike :class:`Arrival` a session
+    maps to exactly one submission carrying all of its tokens.
+    """
+
+    time_s: float
+    tenant: str
+    session_id: str
+    tokens: np.ndarray
+
+
+def generate_tenant_arrivals(
+    spec: LoadSpec,
+    tenant_weights: dict[str, float],
+    vocab_sizes: dict[str, int],
+) -> list[TenantArrival]:
+    """Materialize a deterministic multi-tenant arrival mix.
+
+    Session starts follow the same Poisson-by-thinning process against
+    the diurnal envelope as :func:`generate_arrivals`; each accepted
+    session is then assigned a tenant by normalized ``tenant_weights``
+    (drawn from the same seeded stream, so the mix is part of the
+    replayable workload), its length is bounded-Pareto, and its tokens
+    are uniform over that tenant's vocabulary. Every session is one
+    whole-sequence submission. Both ``bench_tenancy`` and the
+    ``serve-zoo`` CLI consume this generator, so their workloads agree
+    by construction.
+
+    Args:
+        spec: The envelope (duration, rate, seed, diurnal, lengths);
+            ``chunk_len``/``think_time_s`` are unused here.
+        tenant_weights: Relative arrival share per tenant name; must be
+            non-empty with positive total weight.
+        vocab_sizes: Vocabulary bound per tenant (every tenant needs an
+            entry).
+    """
+    if not tenant_weights:
+        raise ConfigurationError("tenant_weights must name at least one tenant")
+    names = sorted(tenant_weights)
+    weights = np.asarray([float(tenant_weights[name]) for name in names])
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ConfigurationError(
+            "tenant weights must be non-negative with a positive total"
+        )
+    missing = [name for name in names if name not in vocab_sizes]
+    if missing:
+        raise ConfigurationError(
+            f"vocab_sizes missing tenant(s): {', '.join(missing)}"
+        )
+    for name in names:
+        if vocab_sizes[name] <= 1:
+            raise ConfigurationError(
+                f"vocab_size for tenant {name!r} must exceed 1, "
+                f"got {vocab_sizes[name]}"
+            )
+    probabilities = weights / weights.sum()
+    rng = np.random.default_rng(spec.seed)
+    peak_rate = spec.session_rate * (1.0 + spec.diurnal_amplitude)
+    arrivals: list[TenantArrival] = []
+    t = 0.0
+    session_index = 0
+    while True:
+        t += rng.exponential(1.0 / peak_rate)
+        if t >= spec.duration_s:
+            break
+        rate_t = spec.session_rate * (
+            1.0
+            + spec.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t / spec.diurnal_period_s)
+        )
+        if rng.random() * peak_rate > rate_t:
+            continue  # thinned out
+        tenant = names[int(rng.choice(len(names), p=probabilities))]
+        length = _bounded_pareto(rng, spec)
+        tokens = rng.integers(0, vocab_sizes[tenant], size=length)
+        arrivals.append(
+            TenantArrival(
+                time_s=t,
+                tenant=tenant,
+                session_id=f"{tenant}-s{session_index:05d}",
+                tokens=tokens,
+            )
+        )
+        session_index += 1
+    arrivals.sort(key=lambda a: (a.time_s, a.session_id))
+    return arrivals
+
+
 @dataclass
 class LoadReport:
     """Outcome of one open-loop run."""

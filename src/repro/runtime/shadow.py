@@ -1,0 +1,108 @@
+"""Sampled shadow execution: an online agreement estimator.
+
+The offline tuner measures Δ-accuracy by re-running every batch at the
+exact configuration — affordable once, unaffordable per request. The
+serving layer instead re-runs every ``K``-th served batch through an
+injected *oracle* (the exact fp64 path) and compares predictions. Stride
+sampling keeps the estimator honest in a way random sampling would not:
+
+* the sampled batches of the ``K`` possible offsets *partition* the
+  served stream, so summing (matched, compared) over offsets reproduces
+  the full-replay totals exactly — the estimator is unbiased over
+  offsets by construction (``tests/test_shadow.py`` asserts the
+  partition identity on small fleets);
+* ``K = 1`` degenerates to full replay: the sampled agreement then
+  *equals* the exhaustive agreement bit-for-bit, which is how the tests
+  tie the online estimator back to the quant-gate numbers in
+  ``BENCH_quant.json``.
+
+The oracle is any callable from a token batch to predictions — the
+tenancy layer installs the tenant's fp64 BASELINE executor (bit-identical
+to the frozen :class:`~repro.core.reference.ReferenceExecutor`, per the
+equivalence suite), while the tests also use a same-mode fp64 executor to
+reproduce the quant gate's same-config agreement definition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ShadowSampler:
+    """Stride-``K`` shadow replay over a stream of served batches.
+
+    Args:
+        oracle: Maps a token batch ``(B, T)`` to exact predictions (any
+            shape; compared element-wise against the served predictions).
+        every_k: Sampling stride — batch ``i`` is replayed when
+            ``i % every_k == offset``. ``1`` replays everything.
+        offset: Which residue class of the stride to sample.
+    """
+
+    def __init__(
+        self,
+        oracle: Callable[[np.ndarray], np.ndarray],
+        every_k: int = 4,
+        offset: int = 0,
+    ) -> None:
+        if every_k < 1:
+            raise ConfigurationError(f"every_k must be >= 1, got {every_k}")
+        if not 0 <= offset < every_k:
+            raise ConfigurationError(
+                f"offset must be in [0, {every_k}), got {offset}"
+            )
+        self.oracle = oracle
+        self.every_k = every_k
+        self.offset = offset
+        self.batches_seen = 0
+        self.batches_sampled = 0
+        self.matched = 0
+        self.compared = 0
+
+    def observe(
+        self, tokens: np.ndarray, predictions: np.ndarray
+    ) -> float | None:
+        """Account one served batch; replay it if the stride selects it.
+
+        Returns the batch's agreement fraction when sampled, ``None``
+        when the batch is skipped.
+        """
+        index = self.batches_seen
+        self.batches_seen += 1
+        if index % self.every_k != self.offset:
+            return None
+        self.batches_sampled += 1
+        exact = np.asarray(self.oracle(tokens))
+        predictions = np.asarray(predictions)
+        if exact.shape != predictions.shape:
+            raise ConfigurationError(
+                f"oracle predictions shape {exact.shape} does not match "
+                f"served predictions shape {predictions.shape}"
+            )
+        matches = exact == predictions
+        self.matched += int(np.sum(matches))
+        self.compared += int(matches.size)
+        return float(np.mean(matches))
+
+    @property
+    def agreement(self) -> float | None:
+        """Pooled agreement over every sampled prediction so far."""
+        if self.compared == 0:
+            return None
+        return self.matched / self.compared
+
+    def as_dict(self) -> dict:
+        """Flat counters for bench reports."""
+        return {
+            "every_k": self.every_k,
+            "offset": self.offset,
+            "batches_seen": self.batches_seen,
+            "batches_sampled": self.batches_sampled,
+            "matched": self.matched,
+            "compared": self.compared,
+            "agreement": self.agreement,
+        }

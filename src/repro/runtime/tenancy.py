@@ -1,0 +1,757 @@
+"""Multi-tenant model-zoo serving: one arena, one cache, N tenants.
+
+E-PUR's reuse-maximization argument — amortize every weight fetch across
+as much work as possible — applied at the *zoo* level: when N tenants
+serve models drawn from a shared zoo, the weights, compiled programs,
+and execution plans are the reusable resources, and the serving layer's
+job is to make sure no tenant pays for a copy another tenant already
+owns. Three shared structures carry that:
+
+* **one** :class:`~repro.runtime.arena.ArenaRegistry` — weight segments
+  deduplicated by source-network fingerprint with precision variants
+  nested under it, refcounted across tenants (two tenants of the same
+  model attach the same pages; an int8 sibling reuses the fp64
+  fingerprint entry);
+* **one cross-tenant** :class:`~repro.core.program.ProgramCache` **and**
+  :class:`~repro.core.plan.PlanCache` — their keys already carry weight
+  fingerprints and shapes, so sharing is safe by construction, and a
+  tenant's first batch after another tenant warmed the same model
+  replays a compiled program instead of recompiling;
+* **one QoS-weighted scheduler** — weighted deficit round-robin over
+  per-tenant bounded FIFO queues: each backlogged tenant accrues
+  ``weight x quantum`` deficit per visit and serves at most its deficit,
+  so sustained service ratios converge to the configured weights while
+  admission overload sheds per tenant with
+  :class:`~repro.errors.BackpressureError` (one noisy tenant cannot
+  starve or shed another).
+
+On top rides the UO control loop: a tenant may carry a
+:class:`~repro.runtime.controller.SLOController` observing its completed-
+request latencies and a :class:`~repro.runtime.shadow.ShadowSampler`
+agreement stream (every ``K``-th served batch replayed on the exact fp64
+oracle), stepping (``alpha_inter``, ``alpha_intra``, ``precision``)
+along the offline sweep frontier to hold the p99/accuracy SLO. Moving
+to a new precision acquires the sibling arena through the registry —
+deduplicated like any other publish — and rebuilds the executor against
+the shared caches, so previously compiled programs stay warm.
+
+**Equivalence discipline.** A tenant at the fp64 BASELINE point with no
+controller is a strict no-op path: its logits are bit-identical to the
+frozen :class:`~repro.core.reference.ReferenceExecutor`, regardless of
+how the WDRR scheduler batches or interleaves it with other tenants
+(batched fp64 execution is batch-composition invariant).
+
+Observability: every tick emits one ``repro.obs/run/v1`` record labelled
+with the serving tenant; :meth:`ZooServer.merged_record` folds a window
+into one record whose cache counters are namespaced per tenant
+(``tenantA/program_hits``) via :func:`~repro.obs.merge.merge_run_records`
+— the per-tenant hit attribution that ``trace summarize``/``diff``
+render. All time enters through ``now`` arguments and an optional
+injected service model, so benches replay deterministic virtual-time
+histories (:func:`run_zoo_open_loop`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.core.plan import PlanCache
+from repro.core.program import ProgramCache
+from repro.errors import BackpressureError, ConfigurationError, ShapeError
+from repro.nn.network import LSTMNetwork
+from repro.obs.merge import merge_run_records
+from repro.obs.record import RunRecord
+from repro.obs.recorder import Recorder
+from repro.runtime.arena import ArenaRegistry, WeightArena
+from repro.runtime.controller import OperatingPoint, SLOController
+from repro.runtime.loadgen import LoadReport, TenantArrival
+from repro.runtime.shadow import ShadowSampler
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static description of one tenant.
+
+    Attributes:
+        name: Tenant identity (labels run records and cache attribution).
+        model: Free-form model identity (zoo app name or a synthetic
+            tag); informational — the *weights* are identified by
+            fingerprint in the registry.
+        weight: WDRR share. Sustained service ratios between saturated
+            tenants converge to the ratio of their weights.
+        point: Starting operating point (``alpha_inter``, ``alpha_intra``,
+            ``precision``).
+        max_batch: Largest batch served to this tenant in one tick.
+        queue_limit: Bound on queued requests; admission past it sheds
+            with :class:`~repro.errors.BackpressureError`.
+        shadow_every: Shadow-sampling stride ``K`` (every K-th served
+            batch replays on the exact oracle); ``0`` disables sampling.
+    """
+
+    name: str
+    model: str = ""
+    weight: float = 1.0
+    point: OperatingPoint = field(default_factory=OperatingPoint)
+    max_batch: int = 8
+    queue_limit: int = 64
+    shadow_every: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant weight must be positive, got {self.weight}"
+            )
+        if self.max_batch < 1 or self.queue_limit < 1:
+            raise ConfigurationError("max_batch and queue_limit must be >= 1")
+        if self.shadow_every < 0:
+            raise ConfigurationError(
+                f"shadow_every must be >= 0, got {self.shadow_every}"
+            )
+
+
+@dataclass
+class ZooResult:
+    """Resolved outcome of one whole-sequence request."""
+
+    tenant: str
+    session_id: str
+    logits: np.ndarray
+    prediction: np.ndarray
+    submitted_at: float
+    completed_at: float
+
+    @property
+    def latency_s(self) -> float:
+        """Admission-to-completion latency."""
+        return self.completed_at - self.submitted_at
+
+
+class ZooTicket:
+    """Pending handle for one submitted request."""
+
+    __slots__ = ("tenant", "session_id", "submitted_at", "result")
+
+    def __init__(self, tenant: str, session_id: str, submitted_at: float) -> None:
+        self.tenant = tenant
+        self.session_id = session_id
+        self.submitted_at = submitted_at
+        self.result: ZooResult | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been served."""
+        return self.result is not None
+
+
+@dataclass
+class _Request:
+    """One queued whole-sequence request."""
+
+    session_id: str
+    tokens: np.ndarray  # 1-D
+    enqueued_at: float
+    ticket: ZooTicket
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving counters."""
+
+    served_requests: int = 0
+    served_tokens: int = 0
+    shed_requests: int = 0
+    ticks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat form for bench reports."""
+        return {
+            "served_requests": self.served_requests,
+            "served_tokens": self.served_tokens,
+            "shed_requests": self.shed_requests,
+            "ticks": self.ticks,
+        }
+
+
+class _Tenant:
+    """Runtime state of one tenant."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        network: LSTMNetwork,
+        controller: SLOController | None,
+        shadow: ShadowSampler | None,
+    ) -> None:
+        self.spec = spec
+        self.source_network = network  # fp64 weights; registry key source
+        self.controller = controller
+        self.shadow = shadow
+        self.point = controller.point if controller is not None else spec.point
+        self.queue: deque[_Request] = deque()
+        self.deficit = 0.0
+        self.stats = TenantStats()
+        #: (arena, executor) per operating point — switching points keeps
+        #: previously built executors (and their warm programs) alive.
+        self.executors: dict[OperatingPoint, tuple[WeightArena, LSTMExecutor]] = {}
+
+
+@dataclass
+class ZooTickReport:
+    """Outcome of one WDRR scheduler tick."""
+
+    tenant: str | None  # None: no backlogged tenant could serve
+    batch: int
+    seq_length: int
+    point: OperatingPoint | None = None
+    exec_wall_s: float = 0.0
+    service_s: float = 0.0
+    end_s: float = 0.0
+    queue_wait_s: float = 0.0
+    completed: list[ZooResult] = field(default_factory=list)
+    moved_to: OperatingPoint | None = None
+
+
+class ZooServer:
+    """WDRR multi-tenant server over shared arena/program/plan caches.
+
+    Synchronous, deterministic engine in the style of
+    :class:`~repro.runtime.streaming.StreamingServer`: :meth:`submit`
+    admits whole-sequence requests per tenant, :meth:`tick` serves one
+    tenant's batch under weighted deficit round-robin. All time enters
+    through ``now`` and the optional per-tick ``service_model``.
+
+    Args:
+        registry: Shared weight-arena registry; owned (and torn down on
+            :meth:`close`) when omitted.
+        recorder: Optional recorder; each tick appends one run record
+            labelled with the serving tenant.
+        quantum: Deficit added per unit weight each time the scheduler
+            visits a backlogged tenant. The default of 1.0 makes a
+            weight-w tenant serve w sequences per round under
+            saturation.
+        mts: Maximum tissue size used when a tenant's operating point
+            activates the inter level.
+        clock: Time source when ``now`` arguments are omitted.
+    """
+
+    def __init__(
+        self,
+        registry: ArenaRegistry | None = None,
+        recorder: Recorder | None = None,
+        quantum: float = 1.0,
+        mts: int = 5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if quantum <= 0:
+            raise ConfigurationError(f"quantum must be positive, got {quantum}")
+        self.registry = registry if registry is not None else ArenaRegistry()
+        self._owns_registry = registry is None
+        self.recorder = recorder
+        self.quantum = quantum
+        self.mts = mts
+        self.clock = clock
+        self.program_cache = ProgramCache()
+        self.plan_cache = PlanCache()
+        self._tenants: dict[str, _Tenant] = {}
+        self._ring: list[str] = []
+        self._cursor = 0
+        self.ticks = 0
+        self._tick_records: list[RunRecord] = []
+
+    # -------------------------------------------------------------- tenants
+
+    def add_tenant(
+        self,
+        spec: TenantSpec,
+        network: LSTMNetwork,
+        controller: SLOController | None = None,
+        shadow_oracle: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        """Register a tenant bound to ``network`` (fp64 source weights).
+
+        The tenant's starting arena is acquired from the shared registry
+        immediately — identical or precision-sibling models across
+        tenants deduplicate here. When ``spec.shadow_every > 0`` and no
+        ``shadow_oracle`` is given, the exact fp64 BASELINE executor over
+        the source network becomes the oracle (bit-identical to the
+        frozen reference). A ``controller`` closes the UO loop; without
+        one the tenant's operating point is fixed for the window.
+        """
+        if spec.name in self._tenants:
+            raise ConfigurationError(f"tenant {spec.name!r} already registered")
+        if controller is not None and spec.shadow_every == 0:
+            # The controller's agreement floor would otherwise never see a
+            # sample and silently reduce to latency-only control.
+            raise ConfigurationError(
+                "a controlled tenant needs shadow_every >= 1 to observe agreement"
+            )
+        shadow = None
+        if spec.shadow_every > 0:
+            if shadow_oracle is None:
+                oracle_exec = LSTMExecutor(
+                    network,
+                    ExecutionConfig(mode=ExecutionMode.BASELINE),
+                    plan_cache=PlanCache(),
+                )
+                shadow_oracle = lambda tokens: oracle_exec.run_batch(  # noqa: E731
+                    tokens
+                ).predictions()
+            shadow = ShadowSampler(shadow_oracle, every_k=spec.shadow_every)
+        tenant = _Tenant(spec, network, controller, shadow)
+        self._tenants[spec.name] = tenant
+        self._ring.append(spec.name)
+        self._executor_for(tenant, tenant.point)  # acquire the starting arena
+
+    def tenant_names(self) -> list[str]:
+        """Registered tenants in ring order."""
+        return list(self._ring)
+
+    def tenant_stats(self, name: str) -> TenantStats:
+        """Serving counters of one tenant."""
+        return self._require(name).stats
+
+    def tenant_point(self, name: str) -> OperatingPoint:
+        """The operating point a tenant currently serves at."""
+        return self._require(name).point
+
+    def tenant_controller(self, name: str) -> SLOController | None:
+        """The tenant's controller, if it has one."""
+        return self._require(name).controller
+
+    def tenant_shadow(self, name: str) -> ShadowSampler | None:
+        """The tenant's shadow sampler, if sampling is enabled."""
+        return self._require(name).shadow
+
+    def _require(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise ConfigurationError(f"unknown tenant {name!r}")
+        return tenant
+
+    # ------------------------------------------------------------ executors
+
+    def _point_config(self, point: OperatingPoint) -> ExecutionConfig:
+        """Resolve an operating point to an execution configuration."""
+        inter = point.alpha_inter > 0.0
+        intra = point.alpha_intra > 0.0
+        if inter and intra:
+            mode = ExecutionMode.COMBINED
+        elif inter:
+            mode = ExecutionMode.INTER
+        elif intra:
+            mode = ExecutionMode.INTRA
+        else:
+            mode = ExecutionMode.BASELINE
+        kwargs: dict = {"mode": mode, "precision": point.precision}
+        if inter:
+            kwargs["alpha_inter"] = point.alpha_inter
+            kwargs["mts"] = self.mts
+        if intra:
+            kwargs["alpha_intra"] = point.alpha_intra
+        return ExecutionConfig(**kwargs)
+
+    def _executor_for(
+        self, tenant: _Tenant, point: OperatingPoint
+    ) -> LSTMExecutor:
+        """The tenant's executor at ``point``, building (and deduplicating
+        the arena acquire) on first use."""
+        cached = tenant.executors.get(point)
+        if cached is not None:
+            return cached[1]
+        config = self._point_config(point)
+        arena = self.registry.acquire(tenant.source_network, config.precision)
+        network = arena.network()
+        quantized_cells = (
+            arena.quantized_cells() if config.precision.is_quantized else None
+        )
+        executor = LSTMExecutor(
+            network,
+            config,
+            plan_cache=self.plan_cache,
+            program_cache=self.program_cache,
+            quantized_cells=quantized_cells,
+        )
+        tenant.executors[point] = (arena, executor)
+        return executor
+
+    # ------------------------------------------------------------ admission
+
+    def submit(
+        self,
+        tenant_name: str,
+        session_id: str,
+        tokens: np.ndarray,
+        now: float | None = None,
+    ) -> ZooTicket:
+        """Admit one whole-sequence request for a tenant.
+
+        Raises:
+            BackpressureError: The tenant's bounded queue is full. Only
+                that tenant sheds — its neighbours' queues are untouched.
+        """
+        if now is None:
+            now = self.clock()
+        tenant = self._require(tenant_name)
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or tokens.shape[0] == 0:
+            raise ShapeError(
+                f"tokens must be a non-empty 1-D array, got shape {tokens.shape}"
+            )
+        if len(tenant.queue) >= tenant.spec.queue_limit:
+            tenant.stats.shed_requests += 1
+            raise BackpressureError(
+                f"tenant {tenant_name!r} queue full "
+                f"({len(tenant.queue)}/{tenant.spec.queue_limit}); retry later"
+            )
+        ticket = ZooTicket(tenant_name, session_id, now)
+        tenant.queue.append(
+            _Request(
+                session_id=session_id,
+                tokens=tokens,
+                enqueued_at=now,
+                ticket=ticket,
+            )
+        )
+        return ticket
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued across every tenant."""
+        return sum(len(t.queue) for t in self._tenants.values())
+
+    def tenant_queue_depth(self, name: str) -> int:
+        """Requests queued for one tenant."""
+        return len(self._require(name).queue)
+
+    # ----------------------------------------------------------- scheduling
+
+    def _pick_tenant(self) -> tuple[_Tenant, int] | None:
+        """WDRR visit: next backlogged tenant whose deficit affords >= 1.
+
+        Visits each ring position at most once starting at the cursor.
+        A visited empty tenant resets its deficit (classic DRR — credit
+        must not accrue while idle); a backlogged tenant accrues
+        ``weight x quantum`` and serves when its deficit covers at least
+        one sequence. Returns ``(tenant, budget)`` or ``None`` when no
+        tenant can serve this tick (deficits were still credited, so a
+        light-weight tenant eventually accumulates service).
+        """
+        n = len(self._ring)
+        for step in range(n):
+            position = (self._cursor + step) % n
+            tenant = self._tenants[self._ring[position]]
+            if not tenant.queue:
+                tenant.deficit = 0.0
+                continue
+            tenant.deficit += tenant.spec.weight * self.quantum
+            budget = int(tenant.deficit)
+            if budget >= 1:
+                self._cursor = (position + 1) % n
+                return tenant, budget
+        return None
+
+    def tick(
+        self,
+        now: float | None = None,
+        service_model: Callable[["ZooTickReport"], float] | None = None,
+    ) -> ZooTickReport:
+        """Serve one tenant's batch under weighted deficit round-robin.
+
+        Picks the next eligible tenant, gathers up to
+        ``min(deficit, max_batch)`` FIFO requests of equal sequence
+        length (the head request sets the length; later equal-length
+        requests may jump shorter-queue positions, but order within a
+        length class is preserved), runs one batched step at the
+        tenant's current operating point, resolves tickets, feeds the
+        tenant's shadow sampler and controller, and applies any
+        controller move.
+
+        ``service_model`` maps the partially filled report (tenant,
+        batch, operating point, measured ``exec_wall_s``) to the tick's
+        modeled service seconds — the virtual-time benches use it to
+        make latency gates runner-independent. Without it the measured
+        wall time is the cost. Completion times (``end_s``) include the
+        service cost, so controller-observed latencies match what an
+        open-loop report measures.
+        """
+        if now is None:
+            now = self.clock()
+        self.ticks += 1
+        picked = self._pick_tenant()
+        if picked is None:
+            return ZooTickReport(tenant=None, batch=0, seq_length=0, end_s=now)
+        tenant, budget = picked
+        spec = tenant.spec
+
+        length = int(tenant.queue[0].tokens.shape[0])
+        limit = min(budget, spec.max_batch)
+        requests: list[_Request] = []
+        for request in tenant.queue:
+            if int(request.tokens.shape[0]) == length:
+                requests.append(request)
+                if len(requests) == limit:
+                    break
+        picked_ids = set(map(id, requests))
+        tenant.queue = deque(r for r in tenant.queue if id(r) not in picked_ids)
+        tenant.deficit -= len(requests)
+        if not tenant.queue:
+            tenant.deficit = 0.0
+
+        executor = self._executor_for(tenant, tenant.point)
+        record = self.recorder is not None and self.recorder.enabled
+        plan_before = self.plan_cache.stats.as_dict() if record else None
+        program_before = self.program_cache.stats.as_dict() if record else None
+        tokens = np.stack([r.tokens for r in requests])
+        exec_start = time.perf_counter()
+        result = executor.run_batch(tokens)
+        exec_wall = time.perf_counter() - exec_start
+        predictions = result.predictions()
+
+        report = ZooTickReport(
+            tenant=spec.name,
+            batch=len(requests),
+            seq_length=length,
+            point=tenant.point,
+            exec_wall_s=exec_wall,
+        )
+        report.service_s = (
+            service_model(report) if service_model is not None else exec_wall
+        )
+        report.end_s = now + report.service_s
+        for j, request in enumerate(requests):
+            report.queue_wait_s += now - request.enqueued_at
+            zoo_result = ZooResult(
+                tenant=spec.name,
+                session_id=request.session_id,
+                logits=result.logits[j],
+                prediction=predictions[j],
+                submitted_at=request.ticket.submitted_at,
+                completed_at=report.end_s,
+            )
+            request.ticket.result = zoo_result
+            report.completed.append(zoo_result)
+
+        tenant.stats.ticks += 1
+        tenant.stats.served_requests += len(requests)
+        tenant.stats.served_tokens += len(requests) * length
+
+        if tenant.shadow is not None:
+            sample = tenant.shadow.observe(tokens, predictions)
+            if sample is not None and tenant.controller is not None:
+                # Feed the pooled estimate, not the single-batch fraction:
+                # one mismatch in a small batch reads as e.g. 0.875 and
+                # would flap the controller, while the pooled stream
+                # moves only as fast as the evidence accumulates.
+                tenant.controller.observe_agreement(tenant.shadow.agreement)
+        if tenant.controller is not None:
+            for zoo_result in report.completed:
+                tenant.controller.observe_latency(zoo_result.latency_s)
+            moved = tenant.controller.decide()
+            if moved is not None:
+                tenant.point = moved
+                report.moved_to = moved
+        if record:
+            self._record_tick(tenant, report, plan_before, program_before)
+        return report
+
+    def drain(
+        self,
+        now: float | None = None,
+        service_model: Callable[["ZooTickReport"], float] | None = None,
+    ) -> list[ZooTickReport]:
+        """Tick until every tenant queue is empty; returns the reports."""
+        reports = []
+        while self.queue_depth > 0:
+            reports.append(self.tick(now=now, service_model=service_model))
+        return reports
+
+    # -------------------------------------------------------------- records
+
+    def _record_tick(
+        self,
+        tenant: _Tenant,
+        report: ZooTickReport,
+        plan_before: dict | None,
+        program_before: dict | None,
+    ) -> None:
+        config = self._point_config(report.point)  # the point the tick served at
+        builder = self.recorder.start_run(
+            label=tenant.spec.name,
+            mode=config.mode.value,
+            spec=config.spec.name,
+            batch=report.batch,
+            seq_length=report.seq_length,
+            config={
+                "tenant": tenant.spec.name,
+                "model": tenant.spec.model,
+                "weight": tenant.spec.weight,
+                "alpha_inter": config.alpha_inter,
+                "alpha_intra": config.alpha_intra,
+                "mts": config.mts,
+                "precision": config.precision.tag,
+                "backend": "numpy",
+            },
+        )
+        if builder is None:
+            return
+        if plan_before is not None:
+            builder.observe_cache_delta(plan_before, self.plan_cache.stats.as_dict())
+        if program_before is not None:
+            builder.observe_program_cache_delta(
+                program_before, self.program_cache.stats.as_dict()
+            )
+        builder.set_timing(
+            wall_s=report.exec_wall_s,
+            exec_wall_s=report.exec_wall_s,
+            queue_wait_s=report.queue_wait_s,
+            ticks=1.0,
+        )
+        self._tick_records.append(builder.finish())
+
+    def merged_record(self, label: str = "zoo") -> RunRecord | None:
+        """One serving-window record with per-tenant cache attribution.
+
+        Ticks of different tenants legitimately differ in sequence
+        length *and* configuration (different models, alphas,
+        precisions; a controller changes a tenant's config mid-window),
+        so the merge tolerates both — agreeing config keys survive,
+        disputed ones are listed under ``"varied"`` — and cache counters
+        are namespaced per tenant (``tenantA/program_hits``). Returns
+        ``None`` when no tick was recorded.
+        """
+        if not self._tick_records:
+            return None
+        return merge_run_records(
+            self._tick_records,
+            label=label,
+            allow_varying_seq_length=True,
+            allow_varying_config=True,
+            group_cache_by_label=True,
+        )
+
+    def tick_records(self) -> list[RunRecord]:
+        """The per-tick records recorded so far (one per serving tick)."""
+        return list(self._tick_records)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release every tenant's arenas (and the registry, if owned)."""
+        for tenant in self._tenants.values():
+            for arena, _ in tenant.executors.values():
+                if not self._owns_registry:
+                    self.registry.release(arena)
+            tenant.executors.clear()
+        if self._owns_registry:
+            self.registry.close()
+
+    def __enter__(self) -> "ZooServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------ open loop
+
+
+@dataclass
+class ZooLoadReport:
+    """Outcome of one multi-tenant open-loop run."""
+
+    per_tenant: dict[str, LoadReport] = field(default_factory=dict)
+    #: Per-tenant ``(completion_time_s, latency_s)`` samples, in
+    #: completion order — windowed tail analysis (the controller
+    #: convergence gate) slices these by time.
+    samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    def overall(self) -> LoadReport:
+        """All tenants folded into one report."""
+        total = LoadReport()
+        for report in self.per_tenant.values():
+            total.offered_submissions += report.offered_submissions
+            total.completed_submissions += report.completed_submissions
+            total.shed_submissions += report.shed_submissions
+            total.offered_tokens += report.offered_tokens
+            total.completed_tokens += report.completed_tokens
+            total.latencies_s.extend(report.latencies_s)
+        total.duration_s = self.duration_s
+        return total
+
+    def as_dict(self) -> dict:
+        """Nested flat summary for bench reports."""
+        return {
+            "duration_s": self.duration_s,
+            "overall": self.overall().as_dict(),
+            "per_tenant": {
+                name: report.as_dict()
+                for name, report in sorted(self.per_tenant.items())
+            },
+        }
+
+
+def run_zoo_open_loop(
+    server: ZooServer,
+    arrivals: list[TenantArrival],
+    tick_interval_s: float = 0.002,
+    service_model: Callable[[ZooTickReport], float] | None = None,
+) -> ZooLoadReport:
+    """Drive a zoo server through a multi-tenant timeline on virtual time.
+
+    The same queueing physics as :func:`~repro.runtime.loadgen.
+    run_open_loop`: arrivals submit at their scheduled virtual times,
+    ticks fire every ``tick_interval_s``, and each tick advances the
+    clock by its (modeled) service cost, so overload grows queues and
+    sheds deterministically. Latencies are admission to the end of the
+    serving tick — the same numbers the tenants' controllers observe.
+    """
+    if tick_interval_s <= 0:
+        raise ConfigurationError(
+            f"tick_interval_s must be positive, got {tick_interval_s}"
+        )
+    report = ZooLoadReport()
+    for name in server.tenant_names():
+        report.per_tenant[name] = LoadReport()
+        report.samples[name] = []
+    now = 0.0
+    next_tick = tick_interval_s
+    idx = 0
+    n = len(arrivals)
+    while idx < n or server.queue_depth > 0:
+        if idx < n and arrivals[idx].time_s <= next_tick:
+            arrival = arrivals[idx]
+            idx += 1
+            now = max(now, arrival.time_s)
+            tenant_report = report.per_tenant[arrival.tenant]
+            tenant_report.offered_submissions += 1
+            tenant_report.offered_tokens += int(arrival.tokens.shape[0])
+            try:
+                server.submit(
+                    arrival.tenant, arrival.session_id, arrival.tokens, now=now
+                )
+            except BackpressureError:
+                tenant_report.shed_submissions += 1
+            continue
+        now = max(now, next_tick)
+        tick_report = server.tick(now=now, service_model=service_model)
+        now = max(now, tick_report.end_s)
+        for result in tick_report.completed:
+            tenant_report = report.per_tenant[result.tenant]
+            tenant_report.completed_submissions += 1
+            tenant_report.completed_tokens += tick_report.seq_length
+            tenant_report.latencies_s.append(result.latency_s)
+            report.samples[result.tenant].append(
+                (result.completed_at, result.latency_s)
+            )
+        next_tick = max(next_tick + tick_interval_s, now)
+    report.duration_s = now
+    return report

@@ -272,3 +272,138 @@ class TestDiff:
         assert "combined" in summary and "launches" in summary
         text = format_diff(diff_runs(base, other))
         assert "speedup" in text and "sgemv" in text
+
+
+def _tenant_record(
+    label: str, mode: str, seq_length: int, config: dict, cache: dict
+) -> RunRecord:
+    return RunRecord(
+        label=label,
+        mode=mode,
+        spec="Tegra X1 (Jetson TX1)",
+        batch=2,
+        seq_length=seq_length,
+        config=config,
+        timing={"wall_s": 0.01, "queue_wait_s": 0.002},
+        cache=dict(cache),
+    )
+
+
+class TestMultiTenantMerge:
+    """Merge extensions for multi-tenant windows: varying configs and
+    per-label cache attribution."""
+
+    def records(self) -> list[RunRecord]:
+        return [
+            _tenant_record(
+                "alpha", "baseline", 12,
+                {"backend": "numpy", "precision": "fp64", "tenant": "alpha"},
+                {"program_hits": 2, "program_misses": 1},
+            ),
+            _tenant_record(
+                "beta", "intra", 8,
+                {"backend": "numpy", "precision": "int8", "tenant": "beta"},
+                {"program_hits": 4, "program_misses": 0},
+            ),
+            _tenant_record(
+                "alpha", "baseline", 12,
+                {"backend": "numpy", "precision": "fp64", "tenant": "alpha"},
+                {"program_hits": 3, "program_misses": 0},
+            ),
+        ]
+
+    def test_varying_config_requires_the_flag(self):
+        from repro.obs import merge_run_records
+
+        with pytest.raises(ConfigurationError):
+            merge_run_records(self.records(), allow_varying_seq_length=True)
+
+    def test_agreeing_keys_survive_and_disputes_are_listed(self):
+        from repro.obs import merge_run_records
+
+        merged = merge_run_records(
+            self.records(),
+            label="zoo",
+            allow_varying_seq_length=True,
+            allow_varying_config=True,
+        )
+        assert merged.config["backend"] == "numpy"
+        assert sorted(merged.config["varied"]) == ["precision", "tenant"]
+        assert merged.mode == "baseline"  # first record's mode
+        assert merged.seq_length == 12  # max across ticks
+        validate_run_dict(merged.to_dict())
+
+    def test_group_cache_by_label_namespaces_and_sums(self):
+        from repro.obs import merge_run_records
+
+        merged = merge_run_records(
+            self.records(),
+            allow_varying_seq_length=True,
+            allow_varying_config=True,
+            group_cache_by_label=True,
+        )
+        assert merged.cache == {
+            "alpha/program_hits": 5,
+            "alpha/program_misses": 1,
+            "beta/program_hits": 4,
+            "beta/program_misses": 0,
+        }
+        validate_run_dict(merged.to_dict())
+
+    def test_summary_renders_per_tenant_cache_table(self):
+        from repro.obs import merge_run_records
+
+        merged = merge_run_records(
+            self.records(),
+            allow_varying_seq_length=True,
+            allow_varying_config=True,
+            group_cache_by_label=True,
+        )
+        summary = format_run_summary(merged)
+        assert "Per-tenant cache hit/miss delta" in summary
+        assert "alpha" in summary and "beta" in summary
+        assert "program_hits" in summary
+
+    def test_flat_cache_keys_keep_the_old_rendering(self):
+        record = _tenant_record(
+            "solo", "baseline", 12,
+            {"backend": "numpy"},
+            {"program_hits": 2, "program_misses": 1},
+        )
+        summary = format_run_summary(record)
+        assert "plan cache delta:" in summary
+        assert "Per-tenant cache hit/miss delta" not in summary
+
+    def test_diff_renders_per_tenant_cache_movement(self):
+        from repro.obs import merge_run_records
+
+        base = merge_run_records(
+            self.records(),
+            allow_varying_seq_length=True,
+            allow_varying_config=True,
+            group_cache_by_label=True,
+        )
+        shifted = [
+            _tenant_record(
+                "alpha", "baseline", 12,
+                {"backend": "numpy"},
+                {"program_hits": 9, "program_misses": 0},
+            ),
+            _tenant_record(
+                "beta", "baseline", 12,
+                {"backend": "numpy"},
+                {"program_hits": 8, "program_misses": 0},
+            ),
+        ]
+        other = merge_run_records(
+            shifted,
+            allow_varying_seq_length=True,
+            allow_varying_config=True,
+            group_cache_by_label=True,
+        )
+        base.simulated["time_s"] = 2.0
+        other.simulated["time_s"] = 1.0
+        text = format_diff(diff_runs(base, other))
+        assert "Per-tenant cache movement (base -> opt)" in text
+        assert "5 -> 9" in text  # alpha program_hits
+        assert "4 -> 8" in text  # beta program_hits

@@ -1,0 +1,170 @@
+"""Tests for :mod:`repro.runtime.shadow` sampled shadow execution.
+
+The load-bearing properties: stride offsets partition the served stream
+(so the estimator is unbiased over offsets by construction), ``K = 1``
+degenerates to exact full replay, and the online estimator reproduces
+the quant-gate agreement numbers in ``BENCH_quant.json`` bit-for-bit.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.config import LSTMConfig
+from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.errors import ConfigurationError
+from repro.nn.network import LSTMNetwork
+from repro.runtime import ShadowSampler
+
+BENCH_QUANT = pathlib.Path(__file__).parent.parent / "BENCH_quant.json"
+
+
+def exact_oracle(tokens: np.ndarray) -> np.ndarray:
+    """Trivially deterministic 'exact' predictions for stream tests."""
+    return np.asarray(tokens).sum(axis=-1) % 5
+
+
+class TestStride:
+    def test_every_k_samples_expected_batches(self):
+        sampler = ShadowSampler(exact_oracle, every_k=3, offset=1)
+        sampled = []
+        for i in range(9):
+            tokens = np.full((2, 4), i)
+            out = sampler.observe(tokens, exact_oracle(tokens))
+            sampled.append(out is not None)
+        assert sampled == [False, True, False] * 3
+        assert sampler.batches_seen == 9
+        assert sampler.batches_sampled == 3
+        assert sampler.agreement == 1.0
+
+    def test_k1_is_full_replay(self):
+        sampler = ShadowSampler(exact_oracle, every_k=1)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            tokens = rng.integers(0, 10, size=(3, 4))
+            assert sampler.observe(tokens, exact_oracle(tokens)) is not None
+        assert sampler.batches_sampled == sampler.batches_seen == 5
+        assert sampler.compared == 15
+
+    def test_agreement_counts_mismatches(self):
+        sampler = ShadowSampler(exact_oracle, every_k=1)
+        tokens = np.ones((4, 4), dtype=int)
+        served = exact_oracle(tokens).copy()
+        served[0] += 1  # one wrong prediction
+        assert sampler.observe(tokens, served) == pytest.approx(0.75)
+        assert sampler.agreement == pytest.approx(0.75)
+        assert (sampler.matched, sampler.compared) == (3, 4)
+
+    def test_no_samples_means_no_estimate(self):
+        sampler = ShadowSampler(exact_oracle, every_k=4, offset=3)
+        tokens = np.ones((1, 2), dtype=int)
+        assert sampler.observe(tokens, exact_oracle(tokens)) is None
+        assert sampler.agreement is None
+        assert sampler.as_dict()["agreement"] is None
+
+
+class TestValidation:
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShadowSampler(exact_oracle, every_k=0)
+
+    @pytest.mark.parametrize("offset", [-1, 4, 7])
+    def test_bad_offset_rejected(self, offset):
+        with pytest.raises(ConfigurationError):
+            ShadowSampler(exact_oracle, every_k=4, offset=offset)
+
+    def test_shape_mismatch_rejected(self):
+        sampler = ShadowSampler(exact_oracle, every_k=1)
+        with pytest.raises(ConfigurationError):
+            sampler.observe(np.ones((2, 3), dtype=int), np.zeros(5))
+
+
+class TestPartitionUnbiasedness:
+    def test_offsets_partition_the_stream_exactly(self):
+        """Summing (matched, compared) over all offsets == full replay.
+
+        This is the unbiasedness argument in its exact form: the K
+        offset-samplers tile the served stream with no overlap and no
+        gap, so their pooled totals reproduce the full-replay totals
+        identically — not just in expectation.
+        """
+        k = 4
+        rng = np.random.default_rng(17)
+        samplers = [ShadowSampler(exact_oracle, every_k=k, offset=o) for o in range(k)]
+        full = ShadowSampler(exact_oracle, every_k=1)
+        for _ in range(23):  # deliberately not a multiple of k
+            batch = int(rng.integers(1, 6))
+            tokens = rng.integers(0, 10, size=(batch, 4))
+            served = exact_oracle(tokens).copy()
+            flip = rng.random(batch) < 0.3  # fleet with real disagreement
+            served[flip] += 1
+            for sampler in samplers:
+                sampler.observe(tokens, served)
+            full.observe(tokens, served)
+        assert sum(s.batches_sampled for s in samplers) == full.batches_seen == 23
+        assert sum(s.matched for s in samplers) == full.matched
+        assert sum(s.compared for s in samplers) == full.compared
+        pooled = sum(s.matched for s in samplers) / sum(s.compared for s in samplers)
+        assert pooled == pytest.approx(full.agreement)
+
+
+class TestQuantGateTieback:
+    """``K = 1`` shadow replay reproduces the BENCH_quant agreement numbers."""
+
+    @pytest.fixture(scope="class")
+    def quant_case(self):
+        # The exact bench_quantization workload: hidden 64 x 2 layers,
+        # vocab 200, 8 classes, seed 11; 64 sequences of length 64 from
+        # rng(23). Agreement there is defined vs the SAME-MODE fp64 run.
+        config = LSTMConfig(
+            hidden_size=64, num_layers=2, seq_length=64, input_size=64
+        )
+        network = LSTMNetwork(config, vocab_size=200, num_classes=8, seed=11)
+        rng = np.random.default_rng(23)
+        tokens = rng.integers(0, 200, size=(64, config.seq_length))
+        return network, tokens
+
+    def test_k1_reproduces_exhaustive_int8_agreement(self, quant_case):
+        network, tokens = quant_case
+        config = ExecutionConfig(mode=ExecutionMode.BASELINE)
+        fp64 = LSTMExecutor(network, config)
+        int8 = LSTMExecutor(network, ExecutionConfig(
+            mode=ExecutionMode.BASELINE, precision="int8"
+        ))
+        exhaustive = float(
+            np.mean(int8.run_batch(tokens).predictions()
+                    == fp64.run_batch(tokens).predictions())
+        )
+        sampler = ShadowSampler(
+            lambda chunk: fp64.run_batch(chunk).predictions(), every_k=1
+        )
+        # Stream the same workload in uneven batches: per-row GEMV
+        # batch-composition invariance makes the chunked predictions equal
+        # the full-batch ones, so K=1 pooled agreement ties out exactly.
+        cursor = 0
+        for size in (7, 16, 1, 9, 13, 5, 13):
+            chunk = tokens[cursor : cursor + size]
+            cursor += size
+            sampler.observe(chunk, int8.run_batch(chunk).predictions())
+        assert cursor == tokens.shape[0]
+        assert sampler.compared == tokens.shape[0]
+        assert sampler.agreement == exhaustive
+
+    @pytest.mark.skipif(not BENCH_QUANT.exists(), reason="no BENCH_quant.json")
+    def test_agreement_matches_committed_bench_numbers(self, quant_case):
+        recorded = json.loads(BENCH_QUANT.read_text())
+        expected = recorded["results"]["baseline"]["int8"]["agreement_with_fp64"]
+        network, tokens = quant_case
+        fp64 = LSTMExecutor(network, ExecutionConfig(mode=ExecutionMode.BASELINE))
+        int8 = LSTMExecutor(network, ExecutionConfig(
+            mode=ExecutionMode.BASELINE, precision="int8"
+        ))
+        sampler = ShadowSampler(
+            lambda chunk: fp64.run_batch(chunk).predictions(), every_k=1
+        )
+        for start in range(0, tokens.shape[0], 16):
+            chunk = tokens[start : start + 16]
+            sampler.observe(chunk, int8.run_batch(chunk).predictions())
+        assert sampler.agreement == expected

@@ -1,0 +1,441 @@
+"""Tests for :mod:`repro.runtime.tenancy` multi-tenant zoo serving.
+
+Covers the arena registry (cross-tenant dedup, precision siblings under
+one fingerprint entry, refcounted teardown), weighted deficit
+round-robin scheduling, per-tenant backpressure isolation, the fp64
+strict no-op discipline through the tenancy path, per-tenant cache
+attribution in merged records, the controller integration, and the
+deterministic multi-tenant load generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import LSTMConfig
+from repro.core.executor import ExecutionConfig, ExecutionMode
+from repro.core.reference import ReferenceExecutor
+from repro.errors import BackpressureError, ConfigurationError, RuntimeStateError
+from repro.nn.network import LSTMNetwork
+from repro.obs import Recorder, validate_run_dict
+from repro.runtime import (
+    ArenaRegistry,
+    LoadSpec,
+    OperatingPoint,
+    SLOController,
+    TenantSLO,
+    TenantSpec,
+    ZooServer,
+    generate_tenant_arrivals,
+    run_zoo_open_loop,
+)
+from repro.runtime.arena import fingerprint_network
+
+HIDDEN = 24
+INPUT = 20
+SEQ_LEN = 12
+VOCAB = 60
+CLASSES = 3
+
+
+def build_network(seed: int) -> LSTMNetwork:
+    config = LSTMConfig(
+        hidden_size=HIDDEN, num_layers=2, seq_length=SEQ_LEN, input_size=INPUT
+    )
+    return LSTMNetwork(config, VOCAB, CLASSES, seed=seed)
+
+
+@pytest.fixture
+def net_a() -> LSTMNetwork:
+    return build_network(seed=3)
+
+
+@pytest.fixture
+def net_b() -> LSTMNetwork:
+    return build_network(seed=9)
+
+
+def make_tokens(rng: np.random.Generator, length: int = SEQ_LEN) -> np.ndarray:
+    return rng.integers(0, VOCAB, size=length)
+
+
+MODEL_TICK = 0.01
+
+
+def flat_service(report) -> float:
+    return MODEL_TICK
+
+
+class TestArenaRegistry:
+    def test_same_network_same_precision_deduplicates(self, net_a):
+        with ArenaRegistry() as registry:
+            first = registry.acquire(net_a)
+            second = registry.acquire(net_a)
+            assert first is second
+            assert len(registry) == 1
+            stats = registry.stats
+            assert stats.acquires == 2
+            assert stats.dedup_hits == 1
+            assert stats.published_segments == 1
+            assert stats.naive_bytes == 2 * stats.published_bytes
+            assert stats.dedup_ratio == pytest.approx(0.5)
+
+    def test_precision_sibling_reuses_the_fp64_fingerprint_entry(self, net_a):
+        """Regression (satellite 3): an int8 re-publish of a network whose
+        fp64 arena is already live must land under the *same* fingerprint
+        entry — the quantized manifest is keyed by the dequantized
+        network's fingerprint, not by a fresh key."""
+        with ArenaRegistry() as registry:
+            fp64_arena = registry.acquire(net_a, "fp64")
+            int8_arena = registry.acquire(net_a, "int8")
+            assert int8_arena is not fp64_arena
+            assert registry.variants(net_a) == ("fp64", "int8")
+            assert len(registry._entries) == 1  # one fingerprint entry
+            assert len(registry) == 2  # two precision variants under it
+            source_fp = fingerprint_network(net_a)
+            assert fp64_arena.manifest.fingerprint == source_fp
+            # The sibling publish path: a second int8 acquire attaches,
+            # never re-publishes.
+            again = registry.acquire(net_a, "int8")
+            assert again is int8_arena
+            assert registry.stats.published_segments == 2
+
+    def test_distinct_networks_do_not_share(self, net_a, net_b):
+        with ArenaRegistry() as registry:
+            registry.acquire(net_a)
+            registry.acquire(net_b)
+            assert registry.stats.dedup_hits == 0
+            assert len(registry._entries) == 2
+
+    def test_release_refcounts_and_unlinks_last(self, net_a):
+        registry = ArenaRegistry()
+        first = registry.acquire(net_a)
+        registry.acquire(net_a)
+        registry.release(first)
+        assert len(registry) == 1  # one reference still out
+        registry.release(first)
+        assert len(registry) == 0
+        assert registry.stats.published_segments == 0
+
+    def test_release_unknown_arena_raises(self, net_a, net_b):
+        with ArenaRegistry() as registry, ArenaRegistry() as other:
+            registry.acquire(net_a)
+            foreign = other.acquire(net_b)
+            with pytest.raises(RuntimeStateError):
+                registry.release(foreign)
+
+    def test_quantized_acquire_serves_dequantized_network(self, net_a):
+        with ArenaRegistry() as registry:
+            arena = registry.acquire(net_a, "int8")
+            assert arena.manifest.precision == "int8"
+            cells = arena.quantized_cells()
+            assert len(cells) == len(net_a.layers)
+
+
+class TestScheduling:
+    def test_wdrr_serves_in_weight_ratio(self, net_a):
+        rng = np.random.default_rng(0)
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="heavy", weight=3.0), net_a)
+            server.add_tenant(TenantSpec(name="light", weight=1.0), net_a)
+            for i in range(24):
+                for name in ("heavy", "light"):
+                    server.submit(name, f"{name}-{i}", make_tokens(rng), now=0.0)
+            served = {"heavy": 0, "light": 0}
+            for _ in range(8):
+                report = server.tick(now=0.0, service_model=flat_service)
+                served[report.tenant] += report.batch
+            assert served["heavy"] == 3 * served["light"] > 0
+
+    def test_equal_length_fifo_batching(self, net_a):
+        rng = np.random.default_rng(1)
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="t", weight=4.0, max_batch=8), net_a)
+            # Head sets length 12; the length-7 request is skipped by the
+            # first batch and served later, FIFO within its length class.
+            server.submit("t", "a", make_tokens(rng, 12), now=0.0)
+            server.submit("t", "b", make_tokens(rng, 7), now=0.0)
+            server.submit("t", "c", make_tokens(rng, 12), now=0.0)
+            first = server.tick(now=0.0, service_model=flat_service)
+            assert first.seq_length == 12
+            assert [r.session_id for r in first.completed] == ["a", "c"]
+            second = server.tick(now=0.0, service_model=flat_service)
+            assert second.seq_length == 7
+            assert [r.session_id for r in second.completed] == ["b"]
+
+    def test_idle_tick_reports_no_tenant(self, net_a):
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="t"), net_a)
+            report = server.tick(now=1.0)
+            assert report.tenant is None
+            assert report.batch == 0
+            assert report.end_s == 1.0
+
+    def test_completion_carries_service_cost_and_queue_wait(self, net_a):
+        rng = np.random.default_rng(2)
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="t"), net_a)
+            ticket = server.submit("t", "s", make_tokens(rng), now=1.0)
+            report = server.tick(now=3.0, service_model=lambda r: 0.5)
+            assert report.end_s == pytest.approx(3.5)
+            assert ticket.done
+            assert ticket.result.latency_s == pytest.approx(2.5)
+            assert report.queue_wait_s == pytest.approx(2.0)
+
+
+class TestBackpressure:
+    def test_per_tenant_queue_bound_isolates_neighbours(self, net_a):
+        rng = np.random.default_rng(3)
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="noisy", queue_limit=2), net_a)
+            server.add_tenant(TenantSpec(name="quiet", queue_limit=2), net_a)
+            server.submit("noisy", "n0", make_tokens(rng), now=0.0)
+            server.submit("noisy", "n1", make_tokens(rng), now=0.0)
+            with pytest.raises(BackpressureError):
+                server.submit("noisy", "n2", make_tokens(rng), now=0.0)
+            assert server.tenant_stats("noisy").shed_requests == 1
+            # The neighbour is untouched by the noisy tenant's overflow.
+            server.submit("quiet", "q0", make_tokens(rng), now=0.0)
+            assert server.tenant_queue_depth("quiet") == 1
+            assert server.tenant_stats("quiet").shed_requests == 0
+
+
+class TestFp64NoOpDiscipline:
+    def test_fp64_tenant_is_bit_identical_to_reference(self, net_a, net_b):
+        """A controller-less fp64 tenant served through shared arenas,
+        shared caches, and WDRR interleaving with other tenants must
+        produce logits bit-identical to the frozen reference."""
+        rng = np.random.default_rng(4)
+        tokens = [make_tokens(rng) for _ in range(6)]
+        reference = ReferenceExecutor(
+            net_a, ExecutionConfig(mode=ExecutionMode.BASELINE)
+        )
+        expected = reference.run_batch(np.stack(tokens)).logits
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="fp64", max_batch=2), net_a)
+            server.add_tenant(
+                TenantSpec(name="other", point=OperatingPoint(precision="int8")),
+                net_b,
+            )
+            tickets = []
+            for i, tok in enumerate(tokens):
+                tickets.append(server.submit("fp64", f"s{i}", tok, now=0.0))
+                server.submit("other", f"o{i}", make_tokens(rng), now=0.0)
+            server.drain(now=0.0, service_model=flat_service)
+            for i, ticket in enumerate(tickets):
+                assert np.array_equal(ticket.result.logits, expected[i])
+                assert ticket.result.prediction == np.argmax(expected[i])
+
+
+class TestRecords:
+    def test_tick_and_merged_records_validate_with_attribution(self, net_a, net_b):
+        rng = np.random.default_rng(5)
+        recorder = Recorder()
+        with ZooServer(recorder=recorder) as server:
+            server.add_tenant(TenantSpec(name="alpha"), net_a)
+            server.add_tenant(
+                TenantSpec(name="beta", point=OperatingPoint(precision="int8")),
+                net_b,
+            )
+            for i in range(3):
+                server.submit("alpha", f"a{i}", make_tokens(rng), now=0.0)
+                server.submit("beta", f"b{i}", make_tokens(rng, 8), now=0.0)
+            server.drain(now=0.0, service_model=flat_service)
+            # Every per-tick record stands alone under the v1 schema.
+            for record in server.tick_records():
+                validate_run_dict(record.to_dict())
+                assert record.label in ("alpha", "beta")
+                assert record.config["tenant"] == record.label
+            merged = server.merged_record()
+        validate_run_dict(merged.to_dict())
+        assert merged.cache["alpha/program_misses"] >= 1
+        assert merged.cache["beta/program_misses"] >= 1
+        # Tenants disagree on precision; the merge records the dispute.
+        assert "precision" in merged.config["varied"]
+        assert merged.config["backend"] == "numpy"
+
+    def test_merged_record_none_without_recorder(self, net_a):
+        rng = np.random.default_rng(6)
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="t"), net_a)
+            server.submit("t", "s", make_tokens(rng), now=0.0)
+            server.drain(now=0.0, service_model=flat_service)
+            assert server.merged_record() is None
+
+
+class TestSharedCaches:
+    def test_second_tenant_rides_first_tenants_programs(self, net_a):
+        rng = np.random.default_rng(7)
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="warm"), net_a)
+            server.add_tenant(TenantSpec(name="cold"), net_a)
+            server.submit("warm", "w", make_tokens(rng), now=0.0)
+            server.drain(now=0.0, service_model=flat_service)
+            before = server.program_cache.stats.as_dict()
+            server.submit("cold", "c", make_tokens(rng), now=0.0)
+            server.drain(now=0.0, service_model=flat_service)
+            after = server.program_cache.stats.as_dict()
+            assert after["program_misses"] == before["program_misses"]
+            assert after["program_hits"] > before["program_hits"]
+
+    def test_registry_dedup_across_tenants(self, net_a):
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="one"), net_a)
+            server.add_tenant(TenantSpec(name="two"), net_a)
+            assert server.registry.stats.dedup_hits == 1
+            assert server.registry.stats.published_segments == 1
+
+
+class TestControllerIntegration:
+    def test_overloaded_tenant_steps_to_int8_and_recovers(self, net_a):
+        frontier = [OperatingPoint(), OperatingPoint(precision="int8")]
+        controller = SLOController(
+            frontier,
+            TenantSLO(p99_latency_s=0.05, min_agreement=0.9),
+            hysteresis=2,
+            cooldown_ticks=2,
+            min_latency_samples=4,
+        )
+        spec = LoadSpec(
+            duration_s=1.5,
+            session_rate=40.0,
+            seed=5,
+            session_len_min=SEQ_LEN,
+            session_len_max=SEQ_LEN,
+        )
+        arrivals = generate_tenant_arrivals(spec, {"t": 1.0}, {"t": VOCAB})
+        with ZooServer() as server:
+            server.add_tenant(
+                TenantSpec(name="t", shadow_every=2, queue_limit=256),
+                net_a,
+                controller=controller,
+            )
+            run_zoo_open_loop(
+                server,
+                arrivals,
+                tick_interval_s=0.002,
+                service_model=lambda r: (
+                    0.08 if r.point.precision == "fp64" else 0.004
+                ),
+            )
+            assert controller.moves
+            assert controller.moves[0].reason == "latency"
+            assert server.tenant_point("t").precision == "int8"
+            shadow = server.tenant_shadow("t")
+            assert shadow.batches_sampled > 0
+
+    def test_controller_requires_shadow_sampling(self, net_a):
+        controller = SLOController(
+            [OperatingPoint()], TenantSLO(p99_latency_s=0.1)
+        )
+        with ZooServer() as server:
+            with pytest.raises(ConfigurationError):
+                server.add_tenant(
+                    TenantSpec(name="t"), net_a, controller=controller
+                )
+
+    def test_open_loop_replays_identically(self, net_a):
+        spec = LoadSpec(
+            duration_s=0.5,
+            session_rate=30.0,
+            seed=8,
+            session_len_min=SEQ_LEN,
+            session_len_max=SEQ_LEN,
+        )
+        arrivals = generate_tenant_arrivals(spec, {"t": 1.0}, {"t": VOCAB})
+
+        def one_run() -> dict:
+            with ZooServer() as server:
+                server.add_tenant(TenantSpec(name="t", queue_limit=4), net_a)
+                report = run_zoo_open_loop(
+                    server,
+                    arrivals,
+                    tick_interval_s=0.002,
+                    service_model=lambda r: 0.05,
+                )
+            return report.as_dict()
+
+        assert one_run() == one_run()
+
+
+class TestValidation:
+    def test_duplicate_tenant_rejected(self, net_a):
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="t"), net_a)
+            with pytest.raises(ConfigurationError):
+                server.add_tenant(TenantSpec(name="t"), net_a)
+
+    def test_unknown_tenant_rejected(self, net_a):
+        with ZooServer() as server:
+            with pytest.raises(ConfigurationError):
+                server.submit("ghost", "s", np.arange(4), now=0.0)
+
+    @pytest.mark.parametrize("tokens", [np.zeros((2, 3), dtype=int), np.zeros(0)])
+    def test_bad_tokens_rejected(self, net_a, tokens):
+        with ZooServer() as server:
+            server.add_tenant(TenantSpec(name="t"), net_a)
+            with pytest.raises(ConfigurationError):
+                server.submit("t", "s", tokens, now=0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "t", "weight": 0.0},
+            {"name": "t", "max_batch": 0},
+            {"name": "t", "queue_limit": 0},
+            {"name": "t", "shadow_every": -1},
+        ],
+    )
+    def test_bad_tenant_spec_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantSpec(**kwargs)
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZooServer(quantum=0.0)
+
+
+class TestTenantLoadgen:
+    WEIGHTS = {"a": 3.0, "b": 1.0}
+    VOCABS = {"a": 40, "b": 7}
+
+    def test_deterministic_and_time_ordered(self):
+        spec = LoadSpec(duration_s=4.0, session_rate=30.0, seed=13)
+        first = generate_tenant_arrivals(spec, self.WEIGHTS, self.VOCABS)
+        second = generate_tenant_arrivals(spec, self.WEIGHTS, self.VOCABS)
+        assert len(first) == len(second) > 0
+        assert all(
+            x.time_s == y.time_s
+            and x.tenant == y.tenant
+            and x.session_id == y.session_id
+            and np.array_equal(x.tokens, y.tokens)
+            for x, y in zip(first, second)
+        )
+        times = [a.time_s for a in first]
+        assert times == sorted(times)
+
+    def test_mix_follows_weights_and_vocab_bounds(self):
+        spec = LoadSpec(duration_s=30.0, session_rate=30.0, seed=21)
+        arrivals = generate_tenant_arrivals(spec, self.WEIGHTS, self.VOCABS)
+        counts = {"a": 0, "b": 0}
+        for arrival in arrivals:
+            counts[arrival.tenant] += 1
+            assert arrival.tokens.max() < self.VOCABS[arrival.tenant]
+            assert arrival.session_id.startswith(f"{arrival.tenant}-s")
+        share = counts["a"] / (counts["a"] + counts["b"])
+        assert 0.7 <= share <= 0.8  # 3:1 target = 0.75
+
+    @pytest.mark.parametrize(
+        "weights,vocabs",
+        [
+            ({}, {}),
+            ({"a": -1.0}, {"a": 10}),
+            ({"a": 0.0}, {"a": 10}),
+            ({"a": 1.0}, {}),
+            ({"a": 1.0}, {"a": 1}),
+        ],
+    )
+    def test_bad_mix_rejected(self, weights, vocabs):
+        spec = LoadSpec(duration_s=1.0, session_rate=5.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            generate_tenant_arrivals(spec, weights, vocabs)
