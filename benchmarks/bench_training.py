@@ -1,0 +1,386 @@
+"""Memory-frugal BPTT gate: bit identity, FD oracle, saved-bytes, calibration.
+
+Exercises :mod:`repro.nn.backprop` and :mod:`repro.nn.calibrate` and
+writes ``BENCH_training.json``:
+
+* **gradient correctness** — the ``stash`` and ``recompute`` saved-tensor
+  policies must produce **bit-identical** fp64 gradients (they share the
+  forward's batched GEMMs verbatim, so the contract is equality, not
+  closeness), and the analytic gradients must agree with the shared
+  central-difference oracle (:mod:`tests.gradcheck`) to
+  ``MAX_FD_REL_ERR`` on spot-checked coordinates;
+* **saved-tensor reduction** — across a sequence-length sweep the
+  recompute policy's saved-tensor bytes must shrink relative to stash as
+  ``T`` grows, reaching ``>= MIN_SAVED_RATIO`` at the longest swept
+  length *both* analytically (the 7-vs-2 tensors/layer model) and as
+  measured by ``tracemalloc``, and the recompute policy's measured
+  high-water mark for a full step must not exceed stash's;
+* **throughput penalty** — recomputation re-runs the input projections
+  in the backward pass, so it cannot be free; the gate bounds the cost:
+  min-of-``REPEATS`` step time (warmup first, GC paused — allocation
+  noise is one-sided) must keep recompute at
+  ``>= MIN_RECOMPUTE_THROUGHPUT`` of stash throughput;
+* **calibration consumer** — fine-tuning on a drifted synthetic teacher
+  must converge, re-fingerprint the weights, and demonstrably move the
+  quantities the inference stack derives from gate statistics: the DRS
+  skip fraction shifts and ``>= MIN_BREAKPOINTS_MOVED`` measured
+  breakpoint placements move at a threshold frozen *before* training.
+
+Runs in short mode (smaller workload, same gates) when
+``REPRO_BENCH_SHORT=1`` — the CI training-gate job uses it::
+
+    REPRO_BENCH_SHORT=1 PYTHONPATH=src python benchmarks/bench_training.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+# The shared FD oracle lives in tests/ (a package rooted at the repo, not
+# on PYTHONPATH=src when this runs as a script).
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from repro.bench.gates import GateSet
+from repro.config import LSTMConfig
+from repro.core.tuner import collect_relevance_samples
+from repro.nn.backprop import (
+    SAVED_TENSORS_PER_LAYER,
+    TrainingConfig,
+    analytic_saved_bytes,
+    backward,
+    measure_training_memory,
+    network_parameters,
+    training_forward,
+    training_step,
+)
+from repro.nn.calibrate import (
+    DriftSpec,
+    drift_network,
+    drift_report,
+    fine_tune,
+    synthetic_drift_batch,
+)
+from repro.nn.model_zoo import build_calibrated_network
+from repro.nn.network import LSTMNetwork
+from tests.gradcheck import DEFAULT_TOLERANCE, finite_difference_check
+
+SHORT = os.environ.get("REPRO_BENCH_SHORT", "") == "1"
+
+VOCAB = 120
+NUM_CLASSES = 8
+
+#: Gradient-check workload — small on purpose: the FD oracle pays two
+#: forward passes per probed coordinate.
+GRAD_HIDDEN = 24
+GRAD_LAYERS = 2
+GRAD_SEQ = 16
+GRAD_BATCH = 3
+
+#: Saved-bytes sweep (B, [T...]) and the timing workload.
+SWEEP_BATCH = 4 if SHORT else 8
+SWEEP_SEQ_LENS = (32, 128) if SHORT else (32, 64, 128, 256)
+TIME_HIDDEN = 64
+TIME_LAYERS = 2
+TIME_SEQ = 32 if SHORT else 64
+TIME_BATCH = 4 if SHORT else 8
+
+#: Timing discipline (bench_executor_regression's): untimed warmup, then
+#: the min of interleaved repeats with GC paused — allocation/GC noise
+#: only ever adds time, so the min is the honest estimate.
+WARMUP = 1 if SHORT else 2
+REPEATS = 3 if SHORT else 7
+
+#: Gate bounds.
+MAX_FD_REL_ERR = DEFAULT_TOLERANCE
+MIN_SAVED_RATIO = 3.0
+MAX_PEAK_RATIO = 1.0
+MIN_RECOMPUTE_THROUGHPUT = 0.6
+MIN_BREAKPOINTS_MOVED = 1
+
+#: Calibration workload.
+CAL_STEPS = 4 if SHORT else 6
+CAL_SEQUENCES = 4 if SHORT else 6
+CAL_LR = 5e-2
+
+
+def _network(hidden: int, layers: int, seq_len: int, seed: int = 0) -> LSTMNetwork:
+    config = LSTMConfig(
+        hidden_size=hidden, num_layers=layers, seq_length=seq_len, input_size=hidden
+    )
+    return LSTMNetwork(
+        config, vocab_size=VOCAB, num_classes=NUM_CLASSES, seed=seed, head_pool=4
+    )
+
+
+def _batch(network: LSTMNetwork, batch: int, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    tokens = rng.integers(0, network.vocab_size, size=(batch, network.config.seq_length))
+    labels = rng.integers(0, network.num_classes, size=batch)
+    return tokens, labels
+
+
+def check_gradients(gates: GateSet) -> dict:
+    """Bit identity between policies + the finite-difference oracle."""
+    network = _network(GRAD_HIDDEN, GRAD_LAYERS, GRAD_SEQ)
+    tokens, labels = _batch(network, GRAD_BATCH)
+
+    _, grads_stash = training_step(
+        network, tokens, labels, TrainingConfig(policy="stash")
+    )
+    _, grads_recompute = training_step(
+        network, tokens, labels, TrainingConfig(policy="recompute")
+    )
+    identical = grads_stash.allclose(grads_recompute, exact=True)
+    gates.require_true(
+        "grad_bit_identity",
+        identical,
+        detail="stash vs recompute gradients, exact fp64 equality",
+    )
+
+    # Truncated windows must stay bit-identical too (the reset hits both
+    # policies at the same timesteps).
+    trunc = TrainingConfig(policy="stash", truncation=5)
+    _, t_stash = training_step(network, tokens, labels, trunc)
+    _, t_recompute = training_step(
+        network, tokens, labels, TrainingConfig(policy="recompute", truncation=5)
+    )
+    gates.require_true(
+        "grad_bit_identity_truncated",
+        t_stash.allclose(t_recompute, exact=True),
+        detail="truncation=5 windows",
+    )
+
+    config = TrainingConfig(policy="recompute")
+
+    def loss_fn() -> float:
+        tape = training_forward(network, tokens, config)
+        loss, _ = backward(tape, labels)
+        return loss
+
+    _, analytic = training_step(network, tokens, labels, config)
+    fd_err = finite_difference_check(
+        loss_fn,
+        network_parameters(network),
+        analytic.arrays(),
+        rng=np.random.default_rng(7),
+        coords_per_array=2 if SHORT else 4,
+    )
+    gates.require_at_most(
+        "fd_max_rel_err",
+        fd_err,
+        MAX_FD_REL_ERR,
+        detail="central differences, max(1,|a|,|f|) denominator",
+    )
+    return {
+        "hidden": GRAD_HIDDEN,
+        "layers": GRAD_LAYERS,
+        "seq_len": GRAD_SEQ,
+        "batch": GRAD_BATCH,
+        "bit_identical": identical,
+        "fd_max_rel_err": fd_err,
+    }
+
+
+def check_saved_bytes(gates: GateSet) -> dict:
+    """Analytic + measured saved-tensor sweep over sequence length."""
+    sweep: list[dict] = []
+    for seq_len in SWEEP_SEQ_LENS:
+        network = _network(TIME_HIDDEN, TIME_LAYERS, seq_len, seed=2)
+        tokens, labels = _batch(network, SWEEP_BATCH, seed=seq_len)
+        row: dict = {"seq_len": seq_len, "batch": SWEEP_BATCH}
+        for policy in ("stash", "recompute"):
+            measured = measure_training_memory(
+                network, tokens, labels, TrainingConfig(policy=policy)
+            )
+            row[policy] = {
+                "analytic_saved_bytes": analytic_saved_bytes(
+                    network, SWEEP_BATCH, seq_len, policy
+                ),
+                "measured_saved_bytes": measured["measured_saved_bytes"],
+                "measured_peak_bytes": measured["measured_peak_bytes"],
+            }
+        row["analytic_saved_ratio"] = (
+            row["stash"]["analytic_saved_bytes"]
+            / row["recompute"]["analytic_saved_bytes"]
+        )
+        row["measured_saved_ratio"] = (
+            row["stash"]["measured_saved_bytes"]
+            / row["recompute"]["measured_saved_bytes"]
+        )
+        row["measured_peak_ratio"] = (
+            row["recompute"]["measured_peak_bytes"]
+            / row["stash"]["measured_peak_bytes"]
+        )
+        sweep.append(row)
+
+    longest = sweep[-1]
+    gates.require_at_least(
+        "analytic_saved_ratio",
+        longest["analytic_saved_ratio"],
+        MIN_SAVED_RATIO,
+        detail=f"stash/recompute saved bytes at T={longest['seq_len']} (analytic)",
+    )
+    gates.require_at_least(
+        "measured_saved_ratio",
+        longest["measured_saved_ratio"],
+        MIN_SAVED_RATIO,
+        detail=f"stash/recompute saved bytes at T={longest['seq_len']} (tracemalloc)",
+    )
+    gates.require_at_most(
+        "measured_peak_ratio",
+        longest["measured_peak_ratio"],
+        MAX_PEAK_RATIO,
+        detail="recompute/stash full-step high-water mark",
+    )
+    return {
+        "hidden": TIME_HIDDEN,
+        "layers": TIME_LAYERS,
+        "tensors_per_layer": dict(SAVED_TENSORS_PER_LAYER),
+        "sweep": sweep,
+    }
+
+
+def check_throughput(gates: GateSet) -> dict:
+    """Recompute's step-time penalty, min-of-REPEATS with GC paused."""
+    network = _network(TIME_HIDDEN, TIME_LAYERS, TIME_SEQ, seed=3)
+    tokens, labels = _batch(network, TIME_BATCH, seed=5)
+    configs = {policy: TrainingConfig(policy=policy) for policy in ("stash", "recompute")}
+
+    for config in configs.values():
+        for _ in range(WARMUP):
+            training_step(network, tokens, labels, config)
+
+    best = {policy: float("inf") for policy in configs}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            for policy, config in configs.items():
+                start = time.perf_counter()
+                training_step(network, tokens, labels, config)
+                best[policy] = min(best[policy], time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    ratio = best["stash"] / best["recompute"]
+    gates.require_at_least(
+        "recompute_throughput_ratio",
+        ratio,
+        MIN_RECOMPUTE_THROUGHPUT,
+        detail=f"min-of-{REPEATS} step time, stash_s/recompute_s",
+    )
+    return {
+        "hidden": TIME_HIDDEN,
+        "layers": TIME_LAYERS,
+        "seq_len": TIME_SEQ,
+        "batch": TIME_BATCH,
+        "warmup": WARMUP,
+        "repeats": REPEATS,
+        "stash_step_s": best["stash"],
+        "recompute_step_s": best["recompute"],
+        "recompute_throughput_ratio": ratio,
+    }
+
+
+def check_calibration(gates: GateSet) -> dict:
+    """The consumer loop: drift -> fine-tune -> gate statistics move."""
+    config = LSTMConfig(hidden_size=24, num_layers=2, seq_length=20, input_size=16)
+    network = build_calibrated_network(
+        config=config, vocab_size=40, num_classes=6, seed=0
+    )
+    frozen = build_calibrated_network(
+        config=config, vocab_size=40, num_classes=6, seed=0
+    )
+    teacher = drift_network(network, DriftSpec(magnitude=1.0))
+    tokens, labels = synthetic_drift_batch(
+        teacher, num_sequences=CAL_SEQUENCES, seed=11
+    )
+    result = fine_tune(network, tokens, labels, steps=CAL_STEPS, lr=CAL_LR)
+
+    gates.require_true(
+        "calibration_loss_decreased",
+        result.losses[-1] < result.losses[0],
+        detail=f"loss {result.losses[0]:.4f} -> {result.losses[-1]:.4f}",
+    )
+    gates.require_true(
+        "calibration_fingerprint_changed",
+        result.weights_changed,
+        detail="fine_tune must re-fingerprint the network",
+    )
+
+    # Threshold frozen on the *pre-training* relevance distribution so any
+    # breakpoint movement is attributable to the weights alone.
+    pooled = np.sort(np.concatenate(collect_relevance_samples(frozen, tokens)))
+    alpha_inter = float(pooled[int(0.3 * (len(pooled) - 1))])
+    report = drift_report(
+        frozen, network, tokens, alpha_inter=alpha_inter, alpha_intra=0.25
+    )
+    gates.require_true(
+        "calibration_skip_fraction_shifted",
+        report.skip_fraction_delta != 0.0,
+        detail=f"DRS skip fraction delta {report.skip_fraction_delta:+.4f}",
+    )
+    gates.require_at_least(
+        "calibration_breakpoints_moved",
+        report.breakpoints_moved,
+        MIN_BREAKPOINTS_MOVED,
+        detail=f"alpha_inter={alpha_inter:.3g} (0.3-quantile, frozen weights)",
+    )
+    return {
+        "steps": CAL_STEPS,
+        "sequences": CAL_SEQUENCES,
+        "lr": CAL_LR,
+        "loss_first": result.losses[0],
+        "loss_last": result.losses[-1],
+        "fingerprint_before": result.fingerprint_before,
+        "fingerprint_after": result.fingerprint_after,
+        "alpha_inter": alpha_inter,
+        "drift": report.as_dict(),
+    }
+
+
+def run() -> tuple[dict, GateSet]:
+    gates = GateSet("training")
+    gradients = check_gradients(gates)
+    saved = check_saved_bytes(gates)
+    throughput = check_throughput(gates)
+    calibration = check_calibration(gates)
+    return {
+        "short_mode": SHORT,
+        "bounds": {
+            "max_fd_rel_err": MAX_FD_REL_ERR,
+            "min_saved_ratio": MIN_SAVED_RATIO,
+            "max_peak_ratio": MAX_PEAK_RATIO,
+            "min_recompute_throughput": MIN_RECOMPUTE_THROUGHPUT,
+            "min_breakpoints_moved": MIN_BREAKPOINTS_MOVED,
+        },
+        "gradients": gradients,
+        "saved_bytes": saved,
+        "throughput": throughput,
+        "calibration": calibration,
+        "gates": gates.as_dict(),
+        "failures": gates.failures,
+        "passed": gates.passed,
+    }, gates
+
+
+def main() -> int:
+    report, gates = run()
+    out_path = pathlib.Path(__file__).parent.parent / "BENCH_training.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return gates.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Seven subcommands::
+Subcommands::
 
     repro info                         # Table I + Table II
     repro run BABI --mode combined --set 4 --sequences 8
@@ -9,6 +9,7 @@ Seven subcommands::
     repro serve-bench --workers 2 --sequences 16 --mode combined
     repro serve-stream --mode intra --duration-s 2 --record stream.jsonl
     repro serve-zoo --tenant MR:2:fp64 --tenant MR:1:int8 --duration-s 2
+    repro calibrate MR --steps 5 --optimizer adam --policy recompute
     repro trace record MR --out runs.jsonl --chrome trace.json
     repro trace summarize runs.jsonl
     repro trace diff base.jsonl other.jsonl
@@ -210,6 +211,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", default=None,
         help="write the merged zoo-window RunRecord (per-tenant cache "
         "attribution under namespaced keys) to this JSONL path",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fine-tune one zoo model on synthetic drift with the "
+        "memory-frugal BPTT and report how the measured gate statistics "
+        "(DRS skip ratio, breakpoint placement) moved",
+    )
+    calibrate.add_argument("app", choices=[*APP_NAMES], help="Table II application")
+    calibrate.add_argument("--steps", type=int, default=5,
+                           help="optimizer steps over the drift batch")
+    calibrate.add_argument("--lr", type=float, default=5e-2, help="learning rate")
+    calibrate.add_argument(
+        "--optimizer", choices=["adam", "sgd"], default="adam",
+        help="update rule for the fine-tuning loop",
+    )
+    calibrate.add_argument(
+        "--policy", choices=["stash", "recompute"], default="recompute",
+        help="saved-tensor policy of the backward pass (gradients are "
+        "bit-identical either way; only peak memory differs)",
+    )
+    calibrate.add_argument(
+        "--truncation", type=int, default=None,
+        help="truncated-BPTT window (default: backpropagate the full "
+        "sequence)",
+    )
+    calibrate.add_argument("--sequences", type=int, default=6,
+                           help="drift-batch size")
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument(
+        "--drift", type=float, default=1.0,
+        help="synthetic-drift magnitude (scales every teacher shift)",
+    )
+    calibrate.add_argument(
+        "--alpha-intra", type=float, default=0.25,
+        help="DRS threshold the before/after skip ratio is measured at",
+    )
+    calibrate.add_argument(
+        "--record", default=None,
+        help="write a RunRecord of the training run (memory accounting "
+        "included) to this JSONL path",
     )
 
     trace = sub.add_parser(
@@ -605,6 +647,121 @@ def _cmd_serve_zoo(args) -> int:
     return 0
 
 
+def _cmd_calibrate(args) -> int:
+    import numpy as np
+
+    from repro.config import get_app
+    from repro.core.tuner import collect_relevance_samples
+    from repro.nn.backprop import TrainingConfig, measure_training_memory
+    from repro.nn.calibrate import (
+        DriftSpec,
+        drift_network,
+        drift_report,
+        fine_tune,
+        synthetic_drift_batch,
+    )
+    from repro.nn.model_zoo import build_calibrated_network
+
+    app = get_app(args.app)
+    print(f"Building {app.name} ...", file=sys.stderr)
+    network = build_calibrated_network(app, seed=args.seed)
+    frozen = build_calibrated_network(app, seed=args.seed)
+
+    teacher = drift_network(network, DriftSpec(magnitude=args.drift))
+    tokens, labels = synthetic_drift_batch(
+        teacher, num_sequences=args.sequences, seed=args.seed + 1
+    )
+    config = TrainingConfig(policy=args.policy, truncation=args.truncation)
+    print(
+        f"Fine-tuning on drift (magnitude {args.drift:g}) for {args.steps} "
+        f"step(s) [{args.optimizer}, {args.policy}] ...",
+        file=sys.stderr,
+    )
+    result = fine_tune(
+        network,
+        tokens,
+        labels,
+        steps=args.steps,
+        optimizer=args.optimizer,
+        lr=args.lr,
+        config=config,
+        keep_final_tape=True,
+    )
+    print(
+        f"{app.name} calibrate: loss {result.losses[0]:.4f} -> "
+        f"{result.losses[-1]:.4f} over {result.steps} step(s) "
+        f"({result.wall_s * 1e3:.0f} ms)"
+    )
+    print(
+        f"fingerprint: {result.fingerprint_before[:12]} -> "
+        f"{result.fingerprint_after[:12]} "
+        f"({'changed' if result.weights_changed else 'UNCHANGED'})"
+    )
+    memory = dict(result.final_tape.memory_report())
+    print(
+        f"saved tensors [{args.policy}]: {memory['saved_bytes'] / 1e6:.3f} MB "
+        f"(stash would hold {memory['saved_bytes_stash'] / 1e6:.3f} MB, "
+        f"recompute {memory['saved_bytes_recompute'] / 1e6:.3f} MB)"
+    )
+
+    # Breakpoint threshold: a fixed quantile of the *frozen* relevance
+    # distribution, so placements exist on both sides and any movement is
+    # the weights', not the threshold's.
+    pooled = np.sort(
+        np.concatenate(collect_relevance_samples(frozen, tokens))
+    )
+    alpha_inter = float(pooled[int(0.3 * (len(pooled) - 1))])
+    report = drift_report(
+        frozen, network, tokens, alpha_inter=alpha_inter, alpha_intra=args.alpha_intra
+    )
+    print(
+        f"DRS skip ratio (alpha_intra={args.alpha_intra:g}): "
+        f"{report.before.skip_fraction:.1%} -> {report.after.skip_fraction:.1%} "
+        f"({report.skip_fraction_delta:+.1%})"
+    )
+    print(
+        f"breakpoints (alpha_inter={alpha_inter:.3g}): "
+        f"{report.before.num_breakpoints} -> {report.after.num_breakpoints} "
+        f"placements, {report.breakpoints_moved} moved"
+    )
+    if args.record:
+        from repro.obs import RunRecord, write_jsonl
+
+        trained = measure_training_memory(network, tokens, labels, config)
+        memory["measured_saved_bytes"] = float(trained["measured_saved_bytes"])
+        memory["measured_peak_bytes"] = float(trained["measured_peak_bytes"])
+        record = RunRecord(
+            label=f"calibrate-{app.name}",
+            mode="train",
+            spec="host",
+            batch=int(tokens.shape[0]),
+            seq_length=int(tokens.shape[1]),
+            config={
+                "policy": args.policy,
+                "truncation": args.truncation,
+                "optimizer": args.optimizer,
+                "lr": args.lr,
+                "steps": args.steps,
+                "drift": args.drift,
+                "loss_first": result.losses[0],
+                "loss_last": result.losses[-1],
+                "fingerprint_before": result.fingerprint_before,
+                "fingerprint_after": result.fingerprint_after,
+                "skip_fraction_before": report.before.skip_fraction,
+                "skip_fraction_after": report.after.skip_fraction,
+                "breakpoints_moved": report.breakpoints_moved,
+            },
+            timing={"train_wall_s": result.wall_s},
+            memory=memory,
+        )
+        write_jsonl([record], args.record)
+        print(f"wrote training record to {args.record}")
+    if not result.weights_changed:
+        print("repro: error: fine-tuning left the weights unchanged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace_record(args) -> int:
     from repro.core.pipeline import OptimizedLSTM
     from repro.obs import Recorder, write_chrome_trace, write_jsonl
@@ -679,6 +836,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "serve-stream": _cmd_serve_stream,
     "serve-zoo": _cmd_serve_zoo,
+    "calibrate": _cmd_calibrate,
     "trace": _cmd_trace,
 }
 

@@ -371,6 +371,21 @@ def fingerprint_weights(weights: "LSTMCellWeights") -> str:
     return fingerprint
 
 
+def invalidate_weight_fingerprints(network) -> None:
+    """Drop the memoized per-layer digests after a weight mutation.
+
+    :func:`fingerprint_weights` memoizes on the weights object under the
+    inference-time immutability assumption. Training breaks it: an
+    optimizer step (or :func:`repro.nn.calibrate.drift_network`, whose
+    ``deepcopy`` even clones the memo) rewrites the arrays in place and
+    would leave :func:`fingerprint_network` reporting the stale digest.
+    Every mutating path must call this before re-fingerprinting.
+    """
+    for layer in network.layers:
+        if hasattr(layer.weights, "_plan_fingerprint"):
+            del layer.weights._plan_fingerprint
+
+
 def fingerprint_network(network) -> str:
     """Content fingerprint of a whole :class:`~repro.nn.network.LSTMNetwork`.
 

@@ -191,6 +191,78 @@ def calibrate_offline(
 
 
 @dataclass(frozen=True)
+class CalibrationDrift:
+    """How one calibration moved relative to another.
+
+    Produced by :func:`compare_calibrations` for two calibrations of the
+    *same application* (same batch, same GPU spec) taken before and after
+    a weight update — e.g. a :func:`repro.nn.calibrate.fine_tune` run.
+    Breakpoints are compared at the *before* calibration's
+    ``alpha_inter_max`` so the threshold is held fixed and any movement is
+    attributable to the weights alone.
+    """
+
+    alpha_inter_max_before: float
+    alpha_inter_max_after: float
+    breakpoints_before: tuple[tuple[int, ...], ...]
+    breakpoints_after: tuple[tuple[int, ...], ...]
+    relevance_mean_before: float
+    relevance_mean_after: float
+
+    @property
+    def alpha_inter_max_delta(self) -> float:
+        """Signed movement of the usable threshold ceiling."""
+        return self.alpha_inter_max_after - self.alpha_inter_max_before
+
+    @property
+    def breakpoints_moved(self) -> int:
+        """Placements that changed: symmetric-difference size summed over
+        every (sequence, layer) relevance sample."""
+        return sum(
+            len(set(b) ^ set(a))
+            for b, a in zip(self.breakpoints_before, self.breakpoints_after)
+        )
+
+    @property
+    def shifted(self) -> bool:
+        """Whether recalibration would produce a different plan."""
+        return self.breakpoints_moved > 0 or self.alpha_inter_max_delta != 0.0
+
+
+def _breakpoints_at(samples: Sequence[np.ndarray], alpha: float) -> tuple:
+    """Per-sample breakpoint placements at a fixed relevance threshold."""
+    return tuple(
+        tuple(int(t) for t in np.flatnonzero(s < alpha) if t >= 1) for s in samples
+    )
+
+
+def compare_calibrations(
+    before: OfflineCalibration, after: OfflineCalibration
+) -> CalibrationDrift:
+    """Diff two calibrations of the same application (see
+    :class:`CalibrationDrift`); raises if the sample layouts differ."""
+    if len(before.relevance_samples) != len(after.relevance_samples):
+        raise CalibrationError(
+            "calibrations are not comparable: "
+            f"{len(before.relevance_samples)} vs {len(after.relevance_samples)} "
+            "relevance samples (different batch or network depth)"
+        )
+    alpha = before.alpha_inter_max
+    return CalibrationDrift(
+        alpha_inter_max_before=before.alpha_inter_max,
+        alpha_inter_max_after=after.alpha_inter_max,
+        breakpoints_before=_breakpoints_at(before.relevance_samples, alpha),
+        breakpoints_after=_breakpoints_at(after.relevance_samples, alpha),
+        relevance_mean_before=float(
+            np.mean([s.mean() for s in before.relevance_samples])
+        ),
+        relevance_mean_after=float(
+            np.mean([s.mean() for s in after.relevance_samples])
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class PrecisionSweepPoint:
     """One configuration of the joint (thresholds x precision) sweep.
 

@@ -10,16 +10,44 @@ from repro.nn.activations import (
     SENSITIVE_HI,
     SENSITIVE_LO,
     SENSITIVE_WIDTH,
+    dhard_sigmoid,
+    dsigmoid,
+    dtanh,
     hard_sigmoid,
     sensitive_overlap,
     sigmoid,
+    sigmoid_derivative_for,
     tanh,
+)
+from repro.nn.backprop import (
+    Gradients,
+    TrainingConfig,
+    TrainingTape,
+    analytic_saved_bytes,
+    backward,
+    measure_training_memory,
+    network_parameters,
+    softmax_cross_entropy,
+    training_forward,
+    training_step,
+)
+from repro.nn.calibrate import (
+    Adam,
+    DriftReport,
+    DriftSpec,
+    FineTuneResult,
+    SGD,
+    drift_network,
+    drift_report,
+    fine_tune,
+    measure_gate_statistics,
+    synthetic_drift_batch,
 )
 from repro.nn.initializers import WeightInitializer
 from repro.nn.lstm_cell import CellState, GateVectors, LSTMCellWeights, lstm_cell_step
 from repro.nn.lstm_layer import LSTMLayer
 from repro.nn.network import LSTMNetwork, NetworkOutput
-from repro.nn.gru import GRUCellWeights, GRULayer, gru_cell_step
+from repro.nn.gru import GRUCellWeights, GRULayer, gru_cell_step, gru_layer_backward
 from repro.nn.pruning import ZeroPruningResult, zero_prune
 from repro.nn.model_zoo import CalibrationProfile, build_calibrated_network
 
@@ -27,23 +55,48 @@ __all__ = [
     "SENSITIVE_HI",
     "SENSITIVE_LO",
     "SENSITIVE_WIDTH",
+    "Adam",
     "CalibrationProfile",
     "CellState",
+    "DriftReport",
+    "DriftSpec",
+    "FineTuneResult",
     "GRUCellWeights",
     "GRULayer",
     "GateVectors",
+    "Gradients",
     "LSTMCellWeights",
     "LSTMLayer",
     "LSTMNetwork",
     "NetworkOutput",
+    "SGD",
+    "TrainingConfig",
+    "TrainingTape",
     "WeightInitializer",
     "ZeroPruningResult",
+    "analytic_saved_bytes",
+    "backward",
     "build_calibrated_network",
+    "dhard_sigmoid",
+    "drift_network",
+    "drift_report",
+    "dsigmoid",
+    "dtanh",
+    "fine_tune",
     "gru_cell_step",
+    "gru_layer_backward",
     "hard_sigmoid",
     "lstm_cell_step",
+    "measure_gate_statistics",
+    "measure_training_memory",
+    "network_parameters",
     "sensitive_overlap",
     "sigmoid",
+    "sigmoid_derivative_for",
+    "softmax_cross_entropy",
+    "synthetic_drift_batch",
     "tanh",
+    "training_forward",
+    "training_step",
     "zero_prune",
 ]

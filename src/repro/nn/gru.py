@@ -22,7 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.nn.activations import sigmoid, tanh
+from repro.nn.activations import dtanh, sigmoid, sigmoid_derivative_for, tanh
 from repro.nn.initializers import WeightInitializer
 
 #: Gate order for the united GRU matrices.
@@ -131,6 +131,92 @@ def gru_cell_step(
         n[..., keep] = n_kept
     # Skipped elements keep the previous hidden value (z ~= 0 there).
     return np.where(keep, (1.0 - z) * h_prev + z * n, h_prev)
+
+
+def gru_layer_backward(
+    weights: GRUCellWeights,
+    xs: np.ndarray,
+    hs: np.ndarray,
+    d_hs: np.ndarray,
+    sigmoid_fn: Callable[[np.ndarray], np.ndarray] = sigmoid,
+) -> tuple[np.ndarray, GRUCellWeights]:
+    """Low-memory backward pass of one GRU layer.
+
+    The GRU analogue of the LSTM recompute policy: only the hidden
+    sequence ``hs`` is saved from forward; the gates ``z/r/n`` are rebuilt
+    inside the backward loop from ``xs`` and ``hs`` with the identical
+    forward arithmetic, so no gate stash is ever retained.
+
+    Args:
+        weights: The layer weights the forward ran with.
+        xs: Forward inputs, shape ``(T, E)``.
+        hs: The forward's hidden outputs, shape ``(T, H)``
+            (:meth:`GRULayer.forward` return value; ``h0`` is assumed
+            zero, matching the layer's default).
+        d_hs: Loss gradient w.r.t. every hidden output, shape ``(T, H)``.
+        sigmoid_fn: The gate activation the forward used (its derivative
+            is resolved via :func:`~repro.nn.activations.
+            sigmoid_derivative_for`).
+
+    Returns:
+        ``(d_xs, gradients)`` — input gradients of shape ``(T, E)`` and
+        the weight gradients in a :class:`GRUCellWeights`-shaped
+        container.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    hs = np.asarray(hs, dtype=np.float64)
+    d_hs = np.asarray(d_hs, dtype=np.float64)
+    seq_len, hidden = hs.shape
+    if xs.shape != (seq_len, weights.input_size):
+        raise ShapeError(
+            f"xs must be ({seq_len}, {weights.input_size}), got {xs.shape}"
+        )
+    if d_hs.shape != hs.shape:
+        raise ShapeError(f"d_hs must match hs shape {hs.shape}, got {d_hs.shape}")
+    dsig = sigmoid_derivative_for(sigmoid_fn)
+
+    dpre_z = np.empty((seq_len, hidden))
+    dpre_r = np.empty((seq_len, hidden))
+    dpre_n = np.empty((seq_len, hidden))
+    # (r_t * h_{t-1}) feeds U_n; rebuilt per step and kept for the final
+    # weight-gradient GEMM.
+    rh = np.empty((seq_len, hidden))
+    h_prevs = np.zeros((seq_len, hidden))
+    h_prevs[1:] = hs[:-1]
+
+    dh_carry = np.zeros(hidden)
+    for t in range(seq_len - 1, -1, -1):
+        h_prev = h_prevs[t]
+        # Identical forward arithmetic (gru_cell_step, unskipped path).
+        z = sigmoid_fn(xs[t] @ weights.w_z.T + h_prev @ weights.u_z.T + weights.b_z)
+        r = sigmoid_fn(xs[t] @ weights.w_r.T + h_prev @ weights.u_r.T + weights.b_r)
+        rh[t] = r * h_prev
+        n = tanh(xs[t] @ weights.w_n.T + rh[t] @ weights.u_n.T + weights.b_n)
+
+        dh = d_hs[t] + dh_carry
+        dz = dh * (n - h_prev)
+        dn = dh * z
+        dh_prev = dh * (1.0 - z)
+        dpre_n[t] = dn * dtanh(n)
+        drh = dpre_n[t] @ weights.u_n
+        dh_prev = dh_prev + drh * r
+        dpre_r[t] = (drh * h_prev) * dsig(r)
+        dpre_z[t] = dz * dsig(z)
+        dh_carry = dh_prev + dpre_z[t] @ weights.u_z + dpre_r[t] @ weights.u_r
+
+    d_xs = dpre_z @ weights.w_z + dpre_r @ weights.w_r + dpre_n @ weights.w_n
+    grads = GRUCellWeights(
+        w_z=dpre_z.T @ xs,
+        w_r=dpre_r.T @ xs,
+        w_n=dpre_n.T @ xs,
+        u_z=dpre_z.T @ h_prevs,
+        u_r=dpre_r.T @ h_prevs,
+        u_n=dpre_n.T @ rh,
+        b_z=dpre_z.sum(axis=0),
+        b_r=dpre_r.sum(axis=0),
+        b_n=dpre_n.sum(axis=0),
+    )
+    return d_xs, grads
 
 
 class GRULayer:

@@ -1,0 +1,88 @@
+"""Reusable finite-difference gradient checking.
+
+One implementation of the central-difference oracle, shared by the unit
+tests (hypothesis drives the shapes/seeds) and by
+``benchmarks/bench_training.py`` (the ``fd_max_rel_err`` gate). The
+contract: analytic gradients must agree with central differences to a
+relative error of :data:`DEFAULT_TOLERANCE` on every probed coordinate.
+
+The relative error uses the ``max(1, |a|, |f|)`` denominator so that
+near-zero gradients are compared absolutely: central differences carry
+``O(eps^2) + O(roundoff / eps)`` noise (~1e-10 at ``eps = 1e-6``), and a
+pure ratio would amplify that noise past any tolerance exactly where the
+true gradient vanishes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Central-difference step. fp64 sweet spot: truncation error ``eps**2``
+#: and roundoff ``ulp/eps`` are balanced near ``cbrt(1e-16) ~ 5e-6``.
+DEFAULT_EPS: float = 1e-6
+
+#: Acceptance bound on the relative error (the bench gate's bound too).
+DEFAULT_TOLERANCE: float = 1e-6
+
+#: Coordinates probed per parameter array: full FD over every coordinate
+#: is ``O(2 * n_params)`` forward passes, so each array is spot-checked at
+#: this many randomly chosen coordinates instead.
+DEFAULT_COORDS_PER_ARRAY: int = 6
+
+
+def relative_error(analytic: float, numeric: float) -> float:
+    """``|a - f| / max(1, |a|, |f|)`` — absolute near zero, relative else."""
+    return abs(analytic - numeric) / max(1.0, abs(analytic), abs(numeric))
+
+
+def finite_difference_check(
+    loss_fn: Callable[[], float],
+    params: Sequence[np.ndarray],
+    analytic: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    eps: float = DEFAULT_EPS,
+    coords_per_array: int = DEFAULT_COORDS_PER_ARRAY,
+) -> float:
+    """Spot-check analytic gradients against central differences.
+
+    Args:
+        loss_fn: Re-evaluates the scalar loss with the *current* contents
+            of ``params`` (which are perturbed in place and restored).
+        params: The live parameter arrays ``loss_fn`` reads.
+        analytic: Matching analytic gradient arrays (same order/shapes).
+        rng: Drives the coordinate choice — pass a seeded generator so a
+            failure reproduces.
+        eps: Central-difference step.
+        coords_per_array: Random coordinates probed per array.
+
+    Returns:
+        The maximum relative error over every probed coordinate.
+    """
+    if len(params) != len(analytic):
+        raise ValueError(
+            f"{len(params)} parameter arrays vs {len(analytic)} gradient arrays"
+        )
+    worst = 0.0
+    for param, grad in zip(params, analytic):
+        if param.shape != grad.shape:
+            raise ValueError(
+                f"parameter shape {param.shape} != gradient shape {grad.shape}"
+            )
+        if param.size == 0:
+            continue
+        count = min(coords_per_array, param.size)
+        flat_indices = rng.choice(param.size, size=count, replace=False)
+        flat_param = param.reshape(-1)
+        flat_grad = grad.reshape(-1)
+        for index in flat_indices:
+            original = flat_param[index]
+            flat_param[index] = original + eps
+            plus = loss_fn()
+            flat_param[index] = original - eps
+            minus = loss_fn()
+            flat_param[index] = original
+            numeric = (plus - minus) / (2.0 * eps)
+            worst = max(worst, relative_error(float(flat_grad[index]), numeric))
+    return worst

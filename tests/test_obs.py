@@ -161,6 +161,7 @@ class TestJsonlSchema:
         "timing",
         "simulated",
         "cache",
+        "memory",
         "sequences",
         "kernels",
     }
@@ -407,3 +408,80 @@ class TestMultiTenantMerge:
         assert "Per-tenant cache movement (base -> opt)" in text
         assert "5 -> 9" in text  # alpha program_hits
         assert "4 -> 8" in text  # beta program_hits
+
+
+class TestMemoryField:
+    """The training-side ``memory`` mapping: schema, round trip, merge."""
+
+    def record(self, memory, label="train") -> RunRecord:
+        return RunRecord(
+            label=label,
+            mode="train",
+            spec="host",
+            batch=2,
+            seq_length=8,
+            timing={"train_wall_s": 0.1},
+            memory=dict(memory),
+        )
+
+    def test_round_trip(self, tmp_path):
+        memory = {"saved_bytes": 1024.0, "measured_peak_bytes": 4096.0}
+        path = write_jsonl([self.record(memory)], tmp_path / "train.jsonl")
+        back = read_jsonl(path)[0]
+        assert back.memory == memory
+        validate_run_dict(back.to_dict())
+
+    def test_absent_memory_stays_null(self, recorder):
+        data = recorder.last().to_dict()
+        assert data["memory"] is None
+        assert RunRecord.from_dict(data).memory is None
+
+    def test_validator_rejects_non_numeric_entries(self):
+        data = self.record({"saved_bytes": "lots"}).to_dict()
+        with pytest.raises(ConfigurationError, match="memory"):
+            validate_run_dict(data)
+
+    def test_validator_rejects_non_mapping(self):
+        data = self.record({}).to_dict()
+        data["memory"] = [1, 2]
+        with pytest.raises(ConfigurationError, match="memory"):
+            validate_run_dict(data)
+
+    def test_merge_sums_totals_and_maxes_peaks(self):
+        from repro.obs import merge_run_records
+
+        merged = merge_run_records(
+            [
+                self.record({"saved_bytes": 100.0, "measured_peak_bytes": 700.0}),
+                self.record({"saved_bytes": 250.0, "measured_peak_bytes": 500.0}),
+            ],
+            label="merged",
+            allow_varying_seq_length=True,
+        )
+        assert merged.memory == {
+            "saved_bytes": 350.0,
+            "measured_peak_bytes": 700.0,
+        }
+        validate_run_dict(merged.to_dict())
+
+    def test_merge_without_memory_stays_none(self):
+        from repro.obs import merge_run_records
+
+        records = [
+            RunRecord(label="a", mode="train", spec="host", batch=1, seq_length=4),
+            RunRecord(label="b", mode="train", spec="host", batch=1, seq_length=4),
+        ]
+        assert merge_run_records(records).memory is None
+
+    def test_summary_and_diff_render_memory_tables(self):
+        a = self.record({"saved_bytes": 2e6, "measured_peak_bytes": 8e6}, label="stash")
+        b = self.record(
+            {"saved_bytes": 0.5e6, "measured_peak_bytes": 6e6}, label="recompute"
+        )
+        summary = format_run_summary(a)
+        assert "Training memory" in summary and "saved_bytes" in summary
+        a.simulated["time_s"] = 1.0
+        b.simulated["time_s"] = 1.0
+        text = format_diff(diff_runs(a, b))
+        assert "Training memory movement" in text
+        assert "measured_peak_bytes" in text
