@@ -30,13 +30,13 @@ Honors ``REPRO_BENCH_SHORT=1`` (smaller workload, fewer timing repeats).
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import sys
 import time
 
 import numpy as np
 
+from repro.bench.deflake import SHORT, gc_paused, pick
 from repro.bench.gates import GateSet
 from repro.config import LSTMConfig
 from repro.core.backends import backend_availability, resolve_backend
@@ -45,8 +45,6 @@ from repro.core.reference import ReferenceExecutor
 from repro.errors import BackendUnavailableError
 from repro.gpu.simulator import TimingSimulator
 from repro.nn.network import LSTMNetwork
-
-SHORT = os.environ.get("REPRO_BENCH_SHORT") == "1"
 
 #: Fused-backend numerics bound: max absolute logit deviation from the
 #: fp64 oracle. Measured ~4e-16 on the acceptance workload; the bound
@@ -59,8 +57,8 @@ FUSED_TOLERANCE = 1e-9
 #: Measured ~3.5x on the development host; 1.5x absorbs CI-runner noise.
 MIN_FUSED_SPEEDUP = 1.5
 
-NUM_SEQUENCES = 16 if SHORT else 64
-TIMING_REPEATS = 5 if SHORT else 9
+NUM_SEQUENCES = pick(64, 16)
+TIMING_REPEATS = pick(9, 5)
 
 MODES = (
     ExecutionMode.BASELINE,
@@ -167,10 +165,11 @@ def agreement_run(network, tokens, gates: GateSet) -> dict:
 def _best_wall_s(executor: LSTMExecutor, tokens: np.ndarray) -> float:
     executor.run_batch(tokens)  # warm caches / plan / programs
     best = float("inf")
-    for _ in range(TIMING_REPEATS):
-        start = time.perf_counter()
-        executor.run_batch(tokens)
-        best = min(best, time.perf_counter() - start)
+    with gc_paused():
+        for _ in range(TIMING_REPEATS):
+            start = time.perf_counter()
+            executor.run_batch(tokens)
+            best = min(best, time.perf_counter() - start)
     return best
 
 

@@ -45,8 +45,6 @@ Run directly (CI does) or under pytest-benchmark via ``benchmarks/``::
 
 from __future__ import annotations
 
-import contextlib
-import gc
 import json
 import pathlib
 import sys
@@ -58,6 +56,7 @@ from dataclasses import replace
 
 from repro.config import LSTMConfig
 from repro.core.executor import ExecutionConfig, ExecutionMode, LSTMExecutor
+from repro.bench.deflake import REPEATS, WARMUP, gc_paused, pick
 from repro.bench.gates import GateSet
 from repro.core.plan import PlanCache
 from repro.core.reference import ReferenceExecutor
@@ -108,36 +107,15 @@ MIN_INT8_COMBINED_TRAFFIC_REDUCTION = 3.0
 MAX_RECORDER_OVERHEAD = 1.05
 
 NUM_SEQUENCES = 64
-#: Untimed iterations before sampling starts.
-WARMUP = 2
-#: Timed samples per executor per construction; the reported time is the
-#: minimum across every sample of every construction.
-REPEATS = 7
+#: Warm-up/timed-sample discipline comes from the shared de-flake module
+#: (repro.bench.deflake): WARMUP untimed iterations, then the reported
+#: time is the minimum over REPEATS samples per executor per construction.
 #: Independent executor constructions per mode (re-rolls heap placement).
 CONSTRUCTIONS = 2
 #: The recorder gate compares two near-identical wall times (the true
 #: overhead is well under a millisecond), so its min needs more samples
 #: than the mode gates to keep sampling jitter out of a 5 % band.
-RECORDER_REPEATS = 15
-
-
-@contextlib.contextmanager
-def gc_paused():
-    """Collect once, then keep the cyclic GC off for the timed region.
-
-    The executors allocate thousands of small plan-record objects per run;
-    letting a gen-2 collection fire mid-sample charges a full-heap scan to
-    whichever executor crossed the threshold, which is pure measurement
-    noise for a relative gate.
-    """
-    gc.collect()
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        yield
-    finally:
-        if was_enabled:
-            gc.enable()
+RECORDER_REPEATS = pick(15, 7)
 
 
 def build_case() -> tuple[LSTMNetwork, np.ndarray]:

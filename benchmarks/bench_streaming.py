@@ -32,21 +32,19 @@ Runs in short mode (smaller workload, same gates) when
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import sys
 import time
 
 import numpy as np
 
+from repro.bench.deflake import SHORT
 from repro.bench.gates import GateSet
 from repro.config import LSTMConfig
 from repro.core.executor import ExecutionConfig, ExecutionMode
 from repro.core.reference import ReferenceExecutor
 from repro.nn.network import LSTMNetwork
 from repro.runtime import LoadSpec, StreamingServer, generate_arrivals, run_open_loop
-
-SHORT = os.environ.get("REPRO_BENCH_SHORT", "") == "1"
 
 VOCAB = 200
 NUM_CLASSES = 8

@@ -34,12 +34,12 @@ Runs in short mode (smaller workload, same gates) when
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import sys
 
 import numpy as np
 
+from repro.bench.deflake import SHORT
 from repro.bench.gates import GateSet
 from repro.config import LSTMConfig
 from repro.core.reference import ReferenceExecutor
@@ -56,8 +56,6 @@ from repro.runtime import (
     generate_tenant_arrivals,
     run_zoo_open_loop,
 )
-
-SHORT = os.environ.get("REPRO_BENCH_SHORT", "") == "1"
 
 VOCAB = 200
 NUM_CLASSES = 8

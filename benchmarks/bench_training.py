@@ -34,9 +34,7 @@ Runs in short mode (smaller workload, same gates) when
 
 from __future__ import annotations
 
-import gc
 import json
-import os
 import pathlib
 import sys
 import time
@@ -49,6 +47,7 @@ _REPO_ROOT = pathlib.Path(__file__).parent.parent
 if str(_REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(_REPO_ROOT))
 
+from repro.bench.deflake import REPEATS, SHORT, WARMUP, gc_paused
 from repro.bench.gates import GateSet
 from repro.config import LSTMConfig
 from repro.core.tuner import collect_relevance_samples
@@ -73,8 +72,6 @@ from repro.nn.model_zoo import build_calibrated_network
 from repro.nn.network import LSTMNetwork
 from tests.gradcheck import DEFAULT_TOLERANCE, finite_difference_check
 
-SHORT = os.environ.get("REPRO_BENCH_SHORT", "") == "1"
-
 VOCAB = 120
 NUM_CLASSES = 8
 
@@ -93,11 +90,10 @@ TIME_LAYERS = 2
 TIME_SEQ = 32 if SHORT else 64
 TIME_BATCH = 4 if SHORT else 8
 
-#: Timing discipline (bench_executor_regression's): untimed warmup, then
-#: the min of interleaved repeats with GC paused — allocation/GC noise
-#: only ever adds time, so the min is the honest estimate.
-WARMUP = 1 if SHORT else 2
-REPEATS = 3 if SHORT else 7
+#: Timing discipline (WARMUP/REPEATS/gc_paused) is the shared de-flake
+#: harness in repro.bench.deflake: untimed warmup, then the min of
+#: interleaved repeats with GC paused — allocation/GC noise only ever
+#: adds time, so the min is the honest estimate.
 
 #: Gate bounds.
 MAX_FD_REL_ERR = DEFAULT_TOLERANCE
@@ -260,17 +256,12 @@ def check_throughput(gates: GateSet) -> dict:
             training_step(network, tokens, labels, config)
 
     best = {policy: float("inf") for policy in configs}
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
+    with gc_paused():
         for _ in range(REPEATS):
             for policy, config in configs.items():
                 start = time.perf_counter()
                 training_step(network, tokens, labels, config)
                 best[policy] = min(best[policy], time.perf_counter() - start)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
 
     ratio = best["stash"] / best["recompute"]
     gates.require_at_least(

@@ -24,6 +24,14 @@ from repro.bench.harness import (
     table1_platform,
     table2_applications,
 )
+from repro.bench.deflake import (
+    REPEATS,
+    SHORT,
+    WARMUP,
+    gc_paused,
+    pick,
+    short_mode,
+)
 from repro.bench.export import dump_json, sweep_to_csv, to_jsonable
 from repro.bench.gates import GateCheck, GateSet
 from repro.bench.reporting import format_series, format_table
@@ -32,6 +40,9 @@ __all__ = [
     "ExperimentContext",
     "GateCheck",
     "GateSet",
+    "REPEATS",
+    "SHORT",
+    "WARMUP",
     "ablation_exact_relevance",
     "ablation_large_gpu",
     "ablation_predicted_link",
@@ -48,6 +59,9 @@ __all__ = [
     "dump_json",
     "format_series",
     "format_table",
+    "gc_paused",
+    "pick",
+    "short_mode",
     "sweep_to_csv",
     "to_jsonable",
     "overheads_section6f",

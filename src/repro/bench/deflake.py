@@ -1,0 +1,77 @@
+"""Shared de-flake discipline for the ``benchmarks/bench_*.py`` gates.
+
+Every timing gate in ``benchmarks/`` fights the same three noise sources,
+and until this module existed each bench re-implemented the same three
+counter-measures inline:
+
+* **Cold caches / allocator warm-up** — the first run of any executor
+  pays plan + program compilation and heap growth.  ``WARMUP`` untimed
+  iterations populate every cache before sampling starts.
+* **Descheduling spikes** — scheduler noise only ever *adds* time, so
+  the minimum over ``REPEATS`` samples is the best estimate of true
+  cost.  Report min-of-N, never mean-of-N.
+* **Cyclic-GC pauses** — a gen-2 collection firing mid-sample charges a
+  full-heap scan to whichever run crossed the threshold.  Wrap timed
+  regions in :func:`gc_paused`.
+
+CI runs every gate in short mode (``REPRO_BENCH_SHORT=1``), which trades
+sampling depth for wall-clock; the full profile is the local default.
+Use :func:`pick` for any bench-specific constant that needs a short-mode
+variant beyond the shared ``WARMUP`` / ``REPEATS`` pair.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import os
+from collections.abc import Iterator
+
+__all__ = [
+    "REPEATS",
+    "SHORT",
+    "WARMUP",
+    "gc_paused",
+    "pick",
+    "short_mode",
+]
+
+
+def short_mode() -> bool:
+    """True when ``REPRO_BENCH_SHORT=1`` (the CI gate-job profile)."""
+    return os.environ.get("REPRO_BENCH_SHORT", "") == "1"
+
+
+#: Read once at import, matching the historical per-bench behaviour (the
+#: CI jobs export the variable before the interpreter starts).
+SHORT = short_mode()
+
+#: Untimed iterations before sampling starts (cache + allocator warm-up).
+WARMUP = 1 if SHORT else 2
+
+#: Timed samples per measurement; gates report the minimum across them.
+REPEATS = 3 if SHORT else 7
+
+
+def pick(full, short):
+    """The short-mode variant of a bench constant (``short`` iff SHORT)."""
+    return short if SHORT else full
+
+
+@contextlib.contextmanager
+def gc_paused() -> Iterator[None]:
+    """Collect once, then keep the cyclic GC off for the timed region.
+
+    The executors allocate thousands of small plan-record objects per
+    run; letting a gen-2 collection fire mid-sample is pure measurement
+    noise for a relative gate.  Re-enables GC on exit only if it was
+    enabled on entry, so nested uses compose.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()

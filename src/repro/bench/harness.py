@@ -840,6 +840,7 @@ def serve_bench(
     record_path: str | None = None,
     precision: str = "fp64",
     backend: str = "numpy",
+    threads: int = 1,
 ):
     """Drive the serving runtime once and report fleet-level figures.
 
@@ -872,18 +873,22 @@ def serve_bench(
     if mode is ExecutionMode.COMBINED:
         exec_config = ExecutionConfig(
             mode=mode, alpha_inter=1e12, alpha_intra=0.05, mts=5,
-            precision=precision, backend=backend,
+            precision=precision, backend=backend, threads=threads,
         )
     elif mode is ExecutionMode.INTER:
         exec_config = ExecutionConfig(
-            mode=mode, alpha_inter=1e12, mts=5, precision=precision, backend=backend
+            mode=mode, alpha_inter=1e12, mts=5, precision=precision,
+            backend=backend, threads=threads,
         )
     elif mode is ExecutionMode.INTRA:
         exec_config = ExecutionConfig(
-            mode=mode, alpha_intra=0.05, precision=precision, backend=backend
+            mode=mode, alpha_intra=0.05, precision=precision, backend=backend,
+            threads=threads,
         )
     else:
-        exec_config = ExecutionConfig(mode=mode, precision=precision, backend=backend)
+        exec_config = ExecutionConfig(
+            mode=mode, precision=precision, backend=backend, threads=threads
+        )
 
     recorder = Recorder()
     runtime = InferenceRuntime(
@@ -928,6 +933,7 @@ def serve_bench(
         "weight_bytes_moved": weight_bytes["moved"],
         "sequences": sequences,
         "workers": workers,
+        "threads": exec_config.threads,
         "max_batch": max_batch,
         "queue_depth": queue_depth,
         "dwell_s": dwell_s,
@@ -948,6 +954,7 @@ def serve_bench(
             ("precision", exec_config.precision.tag),
             ("sequences", sequences),
             ("workers", workers),
+            ("threads/worker", exec_config.threads),
             ("dispatched shards", fleet.num_shards),
             ("plan groups", len(fleet.groups)),
             ("wall clock", f"{fleet.wall_s * 1e3:.1f} ms"),

@@ -40,6 +40,11 @@ _BACKEND_HELP = (
     "picks the fastest available fused kernel backend (cgen, then numba)"
 )
 
+_THREADS_HELP = (
+    "in-process dispatch threads per executor (1 = serial; >1 shards "
+    "batch rows over a persistent thread pool, bit-identical to serial)"
+)
+
 #: Figure names accepted by ``repro figure``.
 FIGURES = (
     "table1",
@@ -88,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
     )
+    run.add_argument("--threads", type=int, default=1, help=_THREADS_HELP)
 
     sweep = sub.add_parser("sweep", help="threshold sweep for one application")
     sweep.add_argument("app", choices=[*APP_NAMES])
@@ -142,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
     )
+    serve.add_argument("--threads", type=int, default=1, help=_THREADS_HELP)
 
     stream = sub.add_parser(
         "serve-stream",
@@ -179,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--backend", choices=[*BACKEND_NAMES], default="numpy", help=_BACKEND_HELP
     )
+    stream.add_argument("--threads", type=int, default=1, help=_THREADS_HELP)
 
     zoo = sub.add_parser(
         "serve-zoo",
@@ -207,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     zoo.add_argument("--tick-interval-ms", type=float, default=2.0,
                      help="virtual tick cadence")
     zoo.add_argument("--seed", type=int, default=11)
+    zoo.add_argument("--threads", type=int, default=1, help=_THREADS_HELP)
     zoo.add_argument(
         "--record", default=None,
         help="write the merged zoo-window RunRecord (per-tenant cache "
@@ -349,7 +358,7 @@ def _cmd_run(args) -> int:
         kwargs["threshold_index"] = args.threshold_set
     outcome = app.run(
         tokens, mode=mode, precision=args.precision, backend=args.backend,
-        recorder=recorder, **kwargs
+        threads=args.threads, recorder=recorder, **kwargs
     )
     print(
         f"{args.app} {mode.value} (set {args.threshold_set}, {args.precision}): "
@@ -437,6 +446,7 @@ def _cmd_serve_bench(args) -> int:
         record_path=args.record,
         precision=args.precision,
         backend=args.backend,
+        threads=args.threads,
     )
     print(report)
     if args.record:
@@ -463,7 +473,7 @@ def _cmd_serve_stream(args) -> int:
     )
 
     mode = ExecutionMode(args.mode)
-    exec_kwargs = {"mode": mode, "backend": args.backend}
+    exec_kwargs = {"mode": mode, "backend": args.backend, "threads": args.threads}
     if mode is ExecutionMode.INTRA:
         exec_kwargs["alpha_intra"] = args.alpha_intra
     exec_config = ExecutionConfig(**exec_kwargs)
@@ -571,7 +581,7 @@ def _cmd_serve_zoo(args) -> int:
             networks[app_name] = (app, build_calibrated_network(app, seed=args.seed))
 
     recorder = Recorder()
-    with ZooServer(recorder=recorder) as server:
+    with ZooServer(recorder=recorder, threads=args.threads) as server:
         weights_by_name: dict[str, float] = {}
         vocab_by_name: dict[str, int] = {}
         for index, (app_name, weight, precision) in enumerate(parsed):

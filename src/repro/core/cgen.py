@@ -47,6 +47,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -231,6 +232,12 @@ def compiler_available() -> bool:
 
 _lib: ctypes.CDLL | None = None
 
+#: Serializes the first-use build/load of :data:`_lib`. Two dispatcher
+#: threads racing the cold path would otherwise both run the compiler
+#: and both ``CDLL``-load the object — wasted work, and two live handles
+#: where the module promises one.
+_lib_lock = threading.Lock()
+
 
 #: Compile flags for the generated kernels. ``-ffast-math`` is deliberate:
 #: this backend carries a tolerance contract, not bit-identity, and letting
@@ -256,21 +263,41 @@ LDFLAGS: tuple[str, ...] = ("-shared",)
 
 
 def _build_dir(tag: str) -> Path:
-    return Path(tempfile.gettempdir()) / f"repro-cgen-{tag}"
+    """Cache directory of one keyed build.
+
+    ``REPRO_CGEN_CACHE`` overrides the root: point it at a persistent
+    path (a CI cache mount, a fleet-shared volume) and repeated jobs and
+    restarts reuse the compiled object instead of paying the
+    ``-O3 -march=native`` rebuild. Unset, the per-host temp directory
+    keeps the seed behavior.
+    """
+    root = os.environ.get("REPRO_CGEN_CACHE")
+    base = Path(root).expanduser() if root else Path(tempfile.gettempdir())
+    return base / f"repro-cgen-{tag}"
 
 
 def load_library() -> ctypes.CDLL:
     """Build (once per source+compiler) and load the kernel library.
 
-    The shared object is cached under the temp directory keyed on a hash
+    The shared object is cached under :func:`_build_dir` keyed on a hash
     of the C source and the compiler identity, so repeated runs — and the
     fleet's spawned worker processes — reuse one build. The compile step
     writes to a process-unique name and atomically renames into place, so
-    concurrent builders never read a half-written object.
+    concurrent builder *processes* never read a half-written object;
+    concurrent *threads* are serialized by :data:`_lib_lock` (double-
+    checked, so the warm path stays lock-free).
     """
     global _lib
     if _lib is not None:
         return _lib
+    with _lib_lock:
+        if _lib is not None:
+            return _lib
+        return _load_library_locked()
+
+
+def _load_library_locked() -> ctypes.CDLL:
+    global _lib
     compiler = _compiler()
     if compiler is None:
         raise BackendUnavailableError(

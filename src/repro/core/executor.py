@@ -61,6 +61,7 @@ sweeps recompute no relevance array twice.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -153,6 +154,17 @@ class ExecutionConfig:
             agree with the oracle at tolerance level, never bit-exactly;
             structural plans stay backend-invariant. Availability is
             resolved at executor construction.
+        threads: In-process work-unit parallelism
+            (:mod:`repro.core.parallel`). ``1`` (the default) is today's
+            serial walk — the dispatcher is never touched, so the path is
+            bit-identical by construction. Above one, ``run_batch`` /
+            ``run_stream`` partition the batch into contiguous row shards
+            executed on a persistent thread pool; each shard's bits are
+            independent of the batch composition (per-row GEMV / per-row
+            projection lifts), so outputs stay bit-identical at every
+            thread count. Shards share the plan cache (single-flight) and
+            key their compiled programs per dispatch slot, so each thread
+            owns its program workspaces.
     """
 
     mode: ExecutionMode = ExecutionMode.BASELINE
@@ -166,6 +178,7 @@ class ExecutionConfig:
     compact_drs_gemm: bool = False
     precision: Precision = Precision()
     backend: str = "numpy"
+    threads: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.precision, Precision):
@@ -179,6 +192,8 @@ class ExecutionConfig:
             raise ConfigurationError(f"unknown drs_style {self.drs_style!r}")
         if not 0 <= self.zero_prune_fraction < 1:
             raise ConfigurationError("zero_prune_fraction must be in [0, 1)")
+        if self.threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {self.threads}")
 
     @property
     def inter_active(self) -> bool:
@@ -391,6 +406,13 @@ class LSTMExecutor:
             so parent and workers compute on byte-identical codes and
             scales (re-quantizing a dequantized copy could drift by one
             ulp). Requires a quantized ``config.precision``.
+        dwell_s: Modeled per-sequence device dwell (seconds) slept inside
+            each work unit after its numerics — the in-process twin of the
+            fleet workers' dwell, modeling the mobile GPU's device
+            occupancy that concurrent dispatch overlaps (the disclosed
+            scaling model of ``bench_runtime_scaling`` / ``bench_parallel``
+            on core-starved CI hosts). ``0.0`` (the default) disables it;
+            sleeping never touches the numerics.
     """
 
     def __init__(
@@ -403,12 +425,22 @@ class LSTMExecutor:
         compile: bool = True,
         program_cache: ProgramCache | None = None,
         quantized_cells: list[QuantizedCell] | None = None,
+        dwell_s: float = 0.0,
     ) -> None:
         self.network = network
         self.config = config
         self.plan_cache = plan_cache
         self.recorder = recorder
         self.compile = compile
+        if dwell_s < 0:
+            raise ConfigurationError(f"dwell_s must be >= 0, got {dwell_s}")
+        self.dwell_s = dwell_s
+        #: Per-thread mutable run state. Sharded runs execute layers on
+        #: pool threads; routing the wall-clock accumulators, the
+        #: collect-states flag and the current dispatch slot through
+        #: thread-local storage lets every existing ``self._plan_wall +=``
+        #: site work unchanged whether it runs on the caller or a worker.
+        self._tls = threading.local()
         #: Resolved concrete backend name ("fused" resolves here, once;
         #: a missing toolchain raises BackendUnavailableError now, not
         #: mid-run). Interpreted execution is numpy-only by definition.
@@ -430,8 +462,6 @@ class LSTMExecutor:
         if compile and program_cache is None:
             program_cache = ProgramCache()
         self.program_cache = program_cache
-        self._plan_wall = 0.0
-        self._compile_wall = 0.0
         self._link_fps: list[str | None] = [None] * len(network.layers)
         self._weights_fps: list[str | None] = [None] * len(network.layers)
         self._cells_by_t: dict[int, list[list[tuple[int, int]]]] = {}
@@ -447,8 +477,6 @@ class LSTMExecutor:
         self.predicted_links = predicted_links
         self._row_ranges = [recurrent_row_ranges(layer.weights) for layer in network.layers]
         self._weights: list[LSTMCellWeights] = [layer.weights for layer in network.layers]
-        self._collect_states = False
-        self._last_states: np.ndarray | None = None
         self.pruning_kept_fraction: float | None = None
         if config.mode is ExecutionMode.ZERO_PRUNE:
             pruned = []
@@ -489,6 +517,53 @@ class LSTMExecutor:
             self._row_ranges = [recurrent_row_ranges(w) for w in self._weights]
         self._united = [_UnitedWeights.from_weights(w) for w in self._weights]
 
+    # ----------------------------------------------------- per-thread state
+    # Sharded runs execute `_run_layer` on dispatcher threads, each of
+    # which needs its own wall-clock accumulators, state buffers, and
+    # dispatch slot. Routing them through `self._tls` keeps every legacy
+    # `self._plan_wall += ...` site valid on any thread.
+
+    @property
+    def _plan_wall(self) -> float:
+        return getattr(self._tls, "plan_wall", 0.0)
+
+    @_plan_wall.setter
+    def _plan_wall(self, value: float) -> None:
+        self._tls.plan_wall = value
+
+    @property
+    def _compile_wall(self) -> float:
+        return getattr(self._tls, "compile_wall", 0.0)
+
+    @_compile_wall.setter
+    def _compile_wall(self, value: float) -> None:
+        self._tls.compile_wall = value
+
+    @property
+    def _collect_states(self) -> bool:
+        return getattr(self._tls, "collect_states", False)
+
+    @_collect_states.setter
+    def _collect_states(self, value: bool) -> None:
+        self._tls.collect_states = value
+
+    @property
+    def _last_states(self) -> np.ndarray | None:
+        return getattr(self._tls, "last_states", None)
+
+    @_last_states.setter
+    def _last_states(self, value: np.ndarray | None) -> None:
+        self._tls.last_states = value
+
+    @property
+    def _slot(self) -> int | None:
+        """Dispatch-slot index of the current thread (``None`` = serial)."""
+        return getattr(self._tls, "slot", None)
+
+    @_slot.setter
+    def _slot(self, value: int | None) -> None:
+        self._tls.slot = value
+
     # ------------------------------------------------------------------ API
 
     def run_batch(self, tokens: np.ndarray, collect_states: bool = False) -> ExecutionResult:
@@ -520,6 +595,20 @@ class LSTMExecutor:
         )
         xs = self.network.embedding[tokens]  # (B, T, E)
 
+        if (
+            self.config.threads > 1
+            and batch > 1
+            and not collect_states
+            and not self.config.compact_drs_gemm
+        ):
+            # Contiguous row shards on the persistent thread pool. The
+            # state-collecting calibration path and the approximate
+            # compacted-GEMM opt-in stay on the serial walk.
+            return self._run_batch_parallel(
+                xs, batch, seq_len, start_wall, record,
+                plan_stats_before, program_stats_before,
+            )
+
         plan_layers: list[list[LayerPlanRecord]] = [[] for _ in range(batch)]
         layer_outputs: list[np.ndarray] = []
         layer_states: list[np.ndarray] = []
@@ -532,21 +621,9 @@ class LSTMExecutor:
             for b in range(batch):
                 plan_layers[b].append(records[b])
 
-        top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
-        if not self._exact_backend:
-            # Fused backends carry no bit contract, so the head readout
-            # runs as one plain GEMM — the cheap form the per-row lift
-            # deliberately gave up to keep the oracle's invariances.
-            logits = self.network.head_logits(top)
-        elif top.ndim == 2:
-            # Pooled readout: lift each row to its own (1, H) GEMV so the
-            # logits stay batch-composition-invariant (see _row_gemv).
-            logits = self.network.head_logits(top[:, None, :])[:, 0]
-        else:
-            # Per-timestep heads take the same per-row lift as the input
-            # projections: a (T, H) GEMM's row bits depend on T, which
-            # would make streamed logits diverge from contiguous runs.
-            logits = self.network.head_logits(top[..., None, :])[..., 0, :]
+        logits = self._head_logits(xs)
+        if self.dwell_s > 0.0:
+            time.sleep(self.dwell_s * batch)  # modeled device occupancy
         plans = [SequencePlan(layers=plan_layers[b]) for b in range(batch)]
         timings = {
             "exec_wall_s": time.perf_counter() - start_wall,
@@ -562,6 +639,114 @@ class LSTMExecutor:
         )
         if record:
             self._record_run(result, batch, seq_len, plan_stats_before, program_stats_before)
+        return result
+
+    def _head_logits(self, xs: np.ndarray) -> np.ndarray:
+        """Classifier-head readout of the top layer's outputs."""
+        top = xs if self.network.per_timestep_head else self.network.pool_top(xs)
+        if not self._exact_backend:
+            # Fused backends carry no bit contract, so the head readout
+            # runs as one plain GEMM — the cheap form the per-row lift
+            # deliberately gave up to keep the oracle's invariances.
+            return self.network.head_logits(top)
+        if top.ndim == 2:
+            # Pooled readout: lift each row to its own (1, H) GEMV so the
+            # logits stay batch-composition-invariant (see _row_gemv).
+            return self.network.head_logits(top[:, None, :])[:, 0]
+        # Per-timestep heads take the same per-row lift as the input
+        # projections: a (T, H) GEMM's row bits depend on T, which
+        # would make streamed logits diverge from contiguous runs.
+        return self.network.head_logits(top[..., None, :])[..., 0, :]
+
+    def _run_batch_parallel(
+        self,
+        xs: np.ndarray,
+        batch: int,
+        seq_len: int,
+        start_wall: float,
+        record: bool,
+        plan_stats_before: dict | None,
+        program_stats_before: dict | None,
+    ) -> ExecutionResult:
+        """Row-sharded ``run_batch`` body on the persistent thread pool.
+
+        The batch splits into ``<= threads`` contiguous row shards; each
+        shard walks every layer plus the head readout on its own pool
+        thread and returns arrays covering only its rows. Because every
+        stepwise product is a per-row GEMV lift and the combined-mode
+        group walk dispatches per leading-axis slice, a row's bits are
+        independent of which rows share its dispatch — so reassembling
+        the shards in order is bit-identical to the serial walk (gated in
+        ``bench_parallel``). Shards share the single-flight plan cache;
+        compiled programs are keyed per dispatch slot so each thread owns
+        its workspaces. Real concurrency comes from BLAS / ufunc / ctypes
+        GIL release inside the shard bodies.
+        """
+        from repro.core.parallel import get_dispatcher, shard_slices
+
+        cfg = self.config
+        shards = shard_slices(batch, cfg.threads)
+        dispatcher = get_dispatcher(cfg.threads)
+        n_layers = len(self._weights)
+        dwell = self.dwell_s
+
+        def run_shard(slot: int, rows: slice):
+            tls = self._tls
+            tls.slot = slot
+            tls.plan_wall = 0.0
+            tls.compile_wall = 0.0
+            tls.collect_states = False
+            tls.last_states = None
+            cur = xs[rows]
+            shard_batch = cur.shape[0]
+            shard_plans: list[list[LayerPlanRecord]] = [
+                [] for _ in range(shard_batch)
+            ]
+            outs: list[np.ndarray] = []
+            for layer_index, weights in enumerate(self._weights):
+                cur, records = self._run_layer(layer_index, weights, cur)
+                outs.append(cur)
+                for i in range(shard_batch):
+                    shard_plans[i].append(records[i])
+            logits = self._head_logits(cur)
+            if dwell > 0.0:
+                time.sleep(dwell * shard_batch)  # modeled device occupancy
+            return outs, shard_plans, logits, tls.plan_wall, tls.compile_wall
+
+        thunks = [
+            (lambda slot=slot, rows=rows: run_shard(slot, rows))
+            for slot, rows in enumerate(shards)
+        ]
+        results, dstats = dispatcher.map(thunks)
+
+        # Shards are ascending contiguous row ranges, so ordered
+        # concatenation reassembles exactly the unsharded arrays.
+        layer_outputs = [
+            np.concatenate([res[0][li] for res in results], axis=0)
+            for li in range(n_layers)
+        ]
+        logits = np.concatenate([res[2] for res in results], axis=0)
+        plan_layers: list[list[LayerPlanRecord]] = []
+        for res in results:
+            plan_layers.extend(res[1])
+        plans = [SequencePlan(layers=rows) for rows in plan_layers]
+        timings = {
+            "exec_wall_s": time.perf_counter() - start_wall,
+            "plan_wall_s": sum(res[3] for res in results),
+            "compile_wall_s": sum(res[4] for res in results),
+            **dstats.timing_keys(),
+        }
+        result = ExecutionResult(
+            logits=logits,
+            plans=plans,
+            layer_outputs=layer_outputs,
+            layer_states=[],
+            timings=timings,
+        )
+        if record:
+            self._record_run(
+                result, batch, seq_len, plan_stats_before, program_stats_before
+            )
         return result
 
     def run_stream(
@@ -628,6 +813,10 @@ class LSTMExecutor:
             )
         drs = cfg.intra_active and cfg.alpha_intra > 0.0
         xs = self.network.embedding[tokens]  # (B, L, E)
+        if cfg.threads > 1 and batch > 1:
+            return self._run_stream_parallel(
+                xs, h_states, c_states, batch, chunk, hidden, drs
+            )
         for layer_index, united in enumerate(self._united):
             program = self._compiled_stepwise(layer_index, united, batch, chunk, drs)
             program.project(xs)
@@ -640,6 +829,60 @@ class LSTMExecutor:
             )
             xs = hs
         return xs
+
+    def _run_stream_parallel(
+        self,
+        xs: np.ndarray,
+        h_states: np.ndarray,
+        c_states: np.ndarray,
+        batch: int,
+        chunk: int,
+        hidden: int,
+        drs: bool,
+    ) -> np.ndarray:
+        """Row-sharded streaming tick: sessions split across pool threads.
+
+        Each shard replays the whole layer stack for its contiguous slice
+        of sessions against *views* of the resident state block — row
+        slices of ``(B, H)`` per-layer state are disjoint memory, so
+        in-place state writebacks never interleave. The per-row lifts
+        make every session's bits independent of its tick batch
+        composition, so sharded ticks match serial ticks exactly (the
+        streaming runtime's existing chunked-replay contract, now at any
+        thread count).
+        """
+        from repro.core.parallel import get_dispatcher, shard_slices
+
+        shards = shard_slices(batch, self.config.threads)
+        dispatcher = get_dispatcher(self.config.threads)
+        out = np.empty((batch, chunk, hidden))
+
+        def run_shard(slot: int, rows: slice):
+            tls = self._tls
+            tls.slot = slot
+            tls.compile_wall = 0.0
+            cur = xs[rows]
+            shard_batch = cur.shape[0]
+            for layer_index, united in enumerate(self._united):
+                program = self._compiled_stepwise(
+                    layer_index, united, shard_batch, chunk, drs
+                )
+                program.project(cur)
+                hs = np.empty((shard_batch, chunk, hidden))
+                h_view = h_states[layer_index, rows]
+                c_view = c_states[layer_index, rows]
+                program.execute(
+                    hs, h0=h_view, c0=c_view, state_out=(h_view, c_view)
+                )
+                cur = hs
+            out[rows] = cur
+
+        thunks = [
+            (lambda slot=slot, rows=rows: run_shard(slot, rows))
+            for slot, rows in enumerate(shards)
+        ]
+        dispatcher.map(thunks)
+        return out
 
     def _record_run(
         self,
@@ -664,6 +907,7 @@ class LSTMExecutor:
                 "drs_style": cfg.drs_style,
                 "precision": cfg.precision.tag,
                 "backend": self.backend,
+                "threads": cfg.threads,
             },
         )
         if builder is None:
@@ -1312,7 +1556,10 @@ class LSTMExecutor:
         Keyed on content (weights + link fingerprints), the resolved
         backend, shapes, and the DRS threshold — *not* on breakpoints,
         which are run-time inputs — so every stepwise mode at one shape
-        shares a program.
+        shares a program. On dispatcher threads the key additionally
+        carries the dispatch slot: programs own mutable workspaces, so
+        equal-shape shards running concurrently must not share one
+        instance. Serial runs (``slot is None``) keep the unsuffixed key.
         """
         alpha = self.config.alpha_intra if drs else 0.0
         key = (
@@ -1324,6 +1571,8 @@ class LSTMExecutor:
             seq_len,
             alpha,
         )
+        if self._slot is not None:
+            key += (("slot", self._slot),)
         link = self.predicted_links[layer_index]
         return self._program(
             key,
@@ -1357,6 +1606,11 @@ class LSTMExecutor:
             seq_len,
             cfg.alpha_intra,
         )
+        if self._slot is not None:
+            # Per-slot instances: group programs own workspaces too (see
+            # _compiled_stepwise), and two shards can hold equal-size
+            # groups of the same schedule key.
+            key += (("slot", self._slot),)
         link = self.predicted_links[layer_index]
         return self._program(
             key,

@@ -168,12 +168,14 @@ class OptimizedLSTM:
         zero_prune_fraction: float = 0.37,
         precision: "Precision | str" = "fp64",
         backend: str = "numpy",
+        threads: int = 1,
     ) -> ExecutionConfig:
         """Resolve thresholds (explicit, by schedule index, or maxima)."""
         precision = Precision.parse(precision)
         if mode is ExecutionMode.BASELINE:
             return ExecutionConfig(
-                mode=mode, spec=self.spec, precision=precision, backend=backend
+                mode=mode, spec=self.spec, precision=precision, backend=backend,
+                threads=threads,
             )
         if mode is ExecutionMode.ZERO_PRUNE:
             return ExecutionConfig(
@@ -182,6 +184,7 @@ class OptimizedLSTM:
                 zero_prune_fraction=zero_prune_fraction,
                 precision=precision,
                 backend=backend,
+                threads=threads,
             )
         calibration = self._require_calibration(mode)
         if threshold_index is not None:
@@ -211,6 +214,7 @@ class OptimizedLSTM:
             spec=self.spec,
             precision=precision,
             backend=backend,
+            threads=threads,
         )
 
     def run(
@@ -224,6 +228,7 @@ class OptimizedLSTM:
         zero_prune_fraction: float = 0.37,
         precision: "Precision | str" = "fp64",
         backend: str = "numpy",
+        threads: int = 1,
         keep_traces: bool = False,
         keep_result: bool = False,
         recorder: "Recorder | None" = None,
@@ -256,6 +261,7 @@ class OptimizedLSTM:
             zero_prune_fraction=zero_prune_fraction,
             precision=precision,
             backend=backend,
+            threads=threads,
         )
         links = self.calibration.predicted_links if self.calibration is not None else None
         executor = LSTMExecutor(
@@ -286,6 +292,7 @@ class OptimizedLSTM:
                     "drs_style": config.drs_style,
                     "threshold_index": threshold_index,
                     "precision": config.precision.tag,
+                    "threads": config.threads,
                 },
             )
             if recorder is not None

@@ -20,6 +20,7 @@ combined-mode program.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable, Sequence
 from dataclasses import dataclass, field
@@ -425,6 +426,15 @@ class PlanCache:
     format_cache_stats`. A shared instance is carried by
     :class:`repro.core.pipeline.OptimizedLSTM` and (session-wide) by
     :class:`repro.bench.harness.ExperimentContext`.
+
+    Thread-safe with *single-flight* builds: the in-process dispatcher
+    (:mod:`repro.core.parallel`) runs equal-plan shards concurrently, and
+    a relevance pass is exactly the kind of work that must not duplicate.
+    On a cold key, one thread becomes the build leader and computes
+    outside the lock; peers requesting the same key park on an event and
+    are served the stored value as hits. Miss counters therefore count
+    *distinct builds* — the property ``bench_parallel``'s cold-start gate
+    asserts.
     """
 
     def __init__(self, max_entries: int = 65536) -> None:
@@ -433,15 +443,19 @@ class PlanCache:
         self.max_entries = max_entries
         self._relevance: OrderedDict[Hashable, np.ndarray] = OrderedDict()
         self._plans: OrderedDict[Hashable, CachedLayerPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self._pending: dict[Hashable, threading.Event] = {}
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:
-        return len(self._relevance) + len(self._plans)
+        with self._lock:
+            return len(self._relevance) + len(self._plans)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
-        self._relevance.clear()
-        self._plans.clear()
+        with self._lock:
+            self._relevance.clear()
+            self._plans.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters."""
@@ -451,16 +465,15 @@ class PlanCache:
         self, key: Hashable, compute: Callable[[], np.ndarray]
     ) -> np.ndarray:
         """Cached relevance lookup; ``compute`` runs only on a miss."""
-        hit = self._relevance.get(key)
-        if hit is not None:
-            self._relevance.move_to_end(key)
-            self.stats.relevance_hits += 1
-            return hit
-        self.stats.relevance_misses += 1
-        value = np.asarray(compute())
-        value.setflags(write=False)  # shared across plans and records
-        self._store(self._relevance, key, value)
-        return value
+
+        def build() -> np.ndarray:
+            value = np.asarray(compute())
+            value.setflags(write=False)  # shared across plans and records
+            return value
+
+        return self._single_flight(
+            self._relevance, key, build, "relevance_hits", "relevance_misses"
+        )
 
     def layer_plan(
         self,
@@ -475,18 +488,61 @@ class PlanCache:
         ``build_plan`` runs — so sweeping thresholds over the same batch
         misses the plan store but still reuses every relevance array.
         """
-        hit = self._plans.get(plan_key)
-        if hit is not None:
-            self._plans.move_to_end(plan_key)
-            self.stats.plan_hits += 1
-            return hit
-        self.stats.plan_misses += 1
-        relevance = self.relevance(relevance_key, compute_relevance)
-        plan = build_plan(relevance)
-        self._store(self._plans, plan_key, plan)
-        return plan
+
+        def build() -> CachedLayerPlan:
+            # Leader-only: the nested relevance lookup runs outside the
+            # cache lock, so it takes its own single-flight round.
+            return build_plan(self.relevance(relevance_key, compute_relevance))
+
+        return self._single_flight(
+            self._plans, plan_key, build, "plan_hits", "plan_misses"
+        )
+
+    def _single_flight(
+        self,
+        store: OrderedDict,
+        key: Hashable,
+        build: Callable[[], object],
+        hit_attr: str,
+        miss_attr: str,
+    ):
+        """Locked lookup; on a cold key one leader builds, peers wait.
+
+        The build runs with the lock *released* (relevance passes are the
+        expensive part), guarded by a per-key pending event. Waiters loop
+        back after the event fires and take the stored value as a hit —
+        or, if the leader's build raised, one of them becomes the next
+        leader. Miss counters count distinct completed builds.
+        """
+        while True:
+            with self._lock:
+                hit = store.get(key)
+                if hit is not None:
+                    store.move_to_end(key)
+                    setattr(self.stats, hit_attr, getattr(self.stats, hit_attr) + 1)
+                    return hit
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    break  # this thread leads the build
+            event.wait()
+        try:
+            value = build()
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            setattr(self.stats, miss_attr, getattr(self.stats, miss_attr) + 1)
+            self._store(store, key, value)
+            self._pending.pop(key, None)
+        event.set()
+        return value
 
     def _store(self, store: OrderedDict, key: Hashable, value) -> None:
+        # Callers hold self._lock.
         store[key] = value
         store.move_to_end(key)
         while len(store) > self.max_entries:

@@ -54,6 +54,7 @@ across mid-sequence breakpoint resets.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
@@ -138,6 +139,14 @@ class ProgramCache:
     smaller than the :class:`~repro.core.plan.PlanCache` bound; an entry
     is one (shape, weights, plan-signature) combination and a steady
     serving workload needs only a handful.
+
+    Thread-safe with *single-flight* compilation: under the in-process
+    dispatcher (:mod:`repro.core.parallel`) several threads can request
+    an uncompiled key at once (concurrent cold-start). One thread
+    compiles with the lock released; the peers park on a per-key event
+    and take the stored program as hits, so ``stats.misses`` counts
+    distinct compiles — zero duplicate work, the property the
+    ``bench_parallel`` cold-start gate asserts.
     """
 
     def __init__(self, max_entries: int = 32) -> None:
@@ -145,29 +154,50 @@ class ProgramCache:
             raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._pending: dict[Hashable, threading.Event] = {}
         self.stats = ProgramCacheStats()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
         """Drop every program (counters are kept)."""
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def get(self, key: Hashable, build: Callable[[], object]):
-        """Cached lookup; ``build`` runs only on a miss."""
-        hit = self._store.get(key)
-        if hit is not None:
+        """Cached lookup; ``build`` runs only on a miss (single-flight)."""
+        while True:
+            with self._lock:
+                hit = self._store.get(key)
+                if hit is not None:
+                    self._store.move_to_end(key)
+                    self.stats.hits += 1
+                    return hit
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    break  # this thread leads the compile
+            event.wait()
+        try:
+            program = build()
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            self.stats.misses += 1
+            self._store[key] = program
             self._store.move_to_end(key)
-            self.stats.hits += 1
-            return hit
-        self.stats.misses += 1
-        program = build()
-        self._store[key] = program
-        self._store.move_to_end(key)
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
+            self._pending.pop(key, None)
+        event.set()
         return program
 
 

@@ -27,6 +27,7 @@ segment down under the others (and spam leak warnings on 3.10–3.12).
 from __future__ import annotations
 
 import secrets
+import threading
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
@@ -484,14 +485,23 @@ class ArenaRegistry:
     :meth:`acquire` bumps a per-variant refcount; :meth:`release` drops
     it and unlinks the segment at zero. The registry is a context
     manager — exiting tears down every variant it still holds.
+
+    Thread-safe: a reentrant lock serializes acquire/release/close, so
+    tenants admitted from concurrent threads (or zoo executors running
+    under the in-process dispatcher) can share one registry — two racing
+    first-acquires publish exactly one segment, and refcounts stay exact.
+    Publishing happens under the lock; it is rare (once per variant) and
+    holding the lock closes the check-then-publish race window.
     """
 
     def __init__(self) -> None:
         self._entries: dict[str, dict[str, _RegistryVariant]] = {}
+        self._lock = threading.RLock()
         self.stats = ArenaRegistryStats()
 
     def __len__(self) -> int:
-        return sum(len(variants) for variants in self._entries.values())
+        with self._lock:
+            return sum(len(variants) for variants in self._entries.values())
 
     def acquire(
         self, network: LSTMNetwork, precision: "Precision | str" = "fp64"
@@ -504,49 +514,53 @@ class ArenaRegistry:
         """
         precision = Precision.parse(precision)
         source_fp = fingerprint_network(network)
-        variants = self._entries.setdefault(source_fp, {})
-        variant = variants.get(precision.tag)
-        self.stats.acquires += 1
-        if variant is None:
-            variant = _RegistryVariant(WeightArena.publish(network, precision))
-            variants[precision.tag] = variant
-            self.stats.published_segments += 1
-            self.stats.published_bytes += variant.arena.manifest.total_bytes
-        else:
-            self.stats.dedup_hits += 1
-        self.stats.naive_bytes += variant.arena.manifest.total_bytes
-        variant.refcount += 1
-        return variant.arena
+        with self._lock:
+            variants = self._entries.setdefault(source_fp, {})
+            variant = variants.get(precision.tag)
+            self.stats.acquires += 1
+            if variant is None:
+                variant = _RegistryVariant(WeightArena.publish(network, precision))
+                variants[precision.tag] = variant
+                self.stats.published_segments += 1
+                self.stats.published_bytes += variant.arena.manifest.total_bytes
+            else:
+                self.stats.dedup_hits += 1
+            self.stats.naive_bytes += variant.arena.manifest.total_bytes
+            variant.refcount += 1
+            return variant.arena
 
     def release(self, arena: WeightArena) -> None:
         """Drop one reference; unlink the segment when the last one goes."""
-        for source_fp, variants in self._entries.items():
-            for tag, variant in variants.items():
-                if variant.arena is not arena:
-                    continue
-                variant.refcount -= 1
-                if variant.refcount <= 0:
-                    self.stats.published_bytes -= arena.manifest.total_bytes
-                    self.stats.published_segments -= 1
-                    arena.close()
-                    arena.unlink()
-                    del variants[tag]
-                    if not variants:
-                        del self._entries[source_fp]
-                return
-        raise RuntimeStateError("arena was not acquired from this registry")
+        with self._lock:
+            for source_fp, variants in self._entries.items():
+                for tag, variant in variants.items():
+                    if variant.arena is not arena:
+                        continue
+                    variant.refcount -= 1
+                    if variant.refcount <= 0:
+                        self.stats.published_bytes -= arena.manifest.total_bytes
+                        self.stats.published_segments -= 1
+                        arena.close()
+                        arena.unlink()
+                        del variants[tag]
+                        if not variants:
+                            del self._entries[source_fp]
+                    return
+            raise RuntimeStateError("arena was not acquired from this registry")
 
     def variants(self, network: LSTMNetwork) -> tuple[str, ...]:
         """Precision tags currently published under ``network``'s fingerprint."""
-        return tuple(sorted(self._entries.get(fingerprint_network(network), ())))
+        with self._lock:
+            return tuple(sorted(self._entries.get(fingerprint_network(network), ())))
 
     def close(self) -> None:
         """Unlink every segment still held (idempotent)."""
-        for variants in self._entries.values():
-            for variant in variants.values():
-                variant.arena.close()
-                variant.arena.unlink()
-        self._entries.clear()
+        with self._lock:
+            for variants in self._entries.values():
+                for variant in variants.values():
+                    variant.arena.close()
+                    variant.arena.unlink()
+            self._entries.clear()
 
     def __enter__(self) -> "ArenaRegistry":
         return self

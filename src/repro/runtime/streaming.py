@@ -398,6 +398,7 @@ class StreamingServer:
             "mts": config.mts,
             "drs_style": config.drs_style,
             "precision": config.precision.tag,
+            "threads": config.threads,
             "stream_chunk_len": chunk_len,
             "stream_max_batch": max_batch,
         }

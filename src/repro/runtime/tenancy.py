@@ -240,6 +240,9 @@ class ZooServer:
         mts: Maximum tissue size used when a tenant's operating point
             activates the inter level.
         clock: Time source when ``now`` arguments are omitted.
+        threads: In-process work-unit parallelism for every tenant
+            executor (``repro serve-zoo --threads``); ``1`` keeps the
+            serial path.
     """
 
     def __init__(
@@ -249,15 +252,23 @@ class ZooServer:
         quantum: float = 1.0,
         mts: int = 5,
         clock: Callable[[], float] = time.monotonic,
+        threads: int = 1,
     ) -> None:
         if quantum <= 0:
             raise ConfigurationError(f"quantum must be positive, got {quantum}")
+        if threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
         self.registry = registry if registry is not None else ArenaRegistry()
         self._owns_registry = registry is None
         self.recorder = recorder
         self.quantum = quantum
         self.mts = mts
         self.clock = clock
+        #: In-process dispatcher width stamped on every tenant executor
+        #: (:attr:`repro.core.executor.ExecutionConfig.threads`): tenant
+        #: batches shard across the shared pool while the single-flight
+        #: plan/program caches keep cross-tenant compiles deduplicated.
+        self.threads = threads
         self.program_cache = ProgramCache()
         self.plan_cache = PlanCache()
         self._tenants: dict[str, _Tenant] = {}
@@ -350,7 +361,11 @@ class ZooServer:
             mode = ExecutionMode.INTRA
         else:
             mode = ExecutionMode.BASELINE
-        kwargs: dict = {"mode": mode, "precision": point.precision}
+        kwargs: dict = {
+            "mode": mode,
+            "precision": point.precision,
+            "threads": self.threads,
+        }
         if inter:
             kwargs["alpha_inter"] = point.alpha_inter
             kwargs["mts"] = self.mts
